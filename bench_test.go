@@ -1,0 +1,134 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation section, plus the ablations of DESIGN.md. Each bench
+// drives the same experiment code cmd/jurybench runs at paper scale, shrunk
+// via experiments.QuickConfig so a full -bench=. pass stays fast.
+//
+// The correspondence is:
+//
+//	BenchmarkTable2 — Table 2 (motivation example JERs)
+//	BenchmarkFig3a  — Figure 3(a) jury size vs mean individual error rate
+//	BenchmarkFig3b  — Figure 3(b) AltrALG efficiency ± lower bound
+//	BenchmarkFig3c  — Figure 3(c) budget vs total cost (PayALG)
+//	BenchmarkFig3d  — Figure 3(d) budget vs JER (PayALG)
+//	BenchmarkFig3e  — Figure 3(e) APPX vs OPT total cost
+//	BenchmarkFig3f  — Figure 3(f) APPX vs OPT JER
+//	BenchmarkFig3g  — Figure 3(g) efficiency on micro-blog data
+//	BenchmarkFig3h  — Figure 3(h) precision & recall vs OPT
+//	BenchmarkFig3i  — Figure 3(i) jury sizes vs OPT
+//
+// plus BenchmarkJERAlgorithms, BenchmarkIncrementalSweep,
+// BenchmarkMonteCarloJER and BenchmarkBaselines for the ablation rows, and
+// micro-benchmarks of the two JER evaluators and three solvers.
+package juryselect_test
+
+import (
+	"testing"
+
+	"juryselect/internal/core"
+	"juryselect/internal/experiments"
+	"juryselect/internal/jer"
+	"juryselect/internal/randx"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	cfg := experiments.QuickConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig3a(b *testing.B)  { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)  { benchExperiment(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)  { benchExperiment(b, "fig3c") }
+func BenchmarkFig3d(b *testing.B)  { benchExperiment(b, "fig3d") }
+func BenchmarkFig3e(b *testing.B)  { benchExperiment(b, "fig3e") }
+func BenchmarkFig3f(b *testing.B)  { benchExperiment(b, "fig3f") }
+func BenchmarkFig3g(b *testing.B)  { benchExperiment(b, "fig3g") }
+func BenchmarkFig3h(b *testing.B)  { benchExperiment(b, "fig3h") }
+func BenchmarkFig3i(b *testing.B)  { benchExperiment(b, "fig3i") }
+
+func BenchmarkJERAlgorithms(b *testing.B)    { benchExperiment(b, "ablation-jer") }
+func BenchmarkIncrementalSweep(b *testing.B) { benchExperiment(b, "ablation-inc") }
+func BenchmarkMonteCarloJER(b *testing.B)    { benchExperiment(b, "ablation-mc") }
+func BenchmarkBaselines(b *testing.B)        { benchExperiment(b, "ablation-baselines") }
+
+// Micro-benchmarks: raw evaluator and solver cost at representative sizes,
+// independent of the experiment harness.
+
+func randomRates(n int) []float64 {
+	return randx.New(7).ErrorRates(n, 0.3, 0.15)
+}
+
+func BenchmarkJER_DP_n101(b *testing.B)   { benchJER(b, jer.DPAlgo, 101) }
+func BenchmarkJER_DP_n1001(b *testing.B)  { benchJER(b, jer.DPAlgo, 1001) }
+func BenchmarkJER_CBA_n101(b *testing.B)  { benchJER(b, jer.CBAAlgo, 101) }
+func BenchmarkJER_CBA_n1001(b *testing.B) { benchJER(b, jer.CBAAlgo, 1001) }
+func BenchmarkJER_CBA_n8191(b *testing.B) { benchJER(b, jer.CBAAlgo, 8191) }
+func BenchmarkJER_Enum_n15(b *testing.B)  { benchJER(b, jer.EnumAlgo, 15) }
+func BenchmarkJER_Enum_n21(b *testing.B)  { benchJER(b, jer.EnumAlgo, 21) }
+
+func benchJER(b *testing.B, algo jer.Algorithm, n int) {
+	rates := randomRates(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jer.Compute(rates, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomJurors(n int) []core.Juror {
+	src := randx.New(11)
+	rates := src.ErrorRates(n, 0.3, 0.15)
+	costs := src.Requirements(n, 0.1, 0.1)
+	out := make([]core.Juror, n)
+	for i := range out {
+		out[i] = core.Juror{ErrorRate: rates[i], Cost: costs[i]}
+	}
+	return out
+}
+
+func BenchmarkSelectAltrFaithful_n501(b *testing.B) {
+	cands := randomJurors(501)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectAltr(cands, core.AltrOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectAltrIncremental_n501(b *testing.B) {
+	cands := randomJurors(501)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectAltr(cands, core.AltrOptions{Incremental: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectPay_n501(b *testing.B) {
+	cands := randomJurors(501)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectPay(cands, core.PayOptions{Budget: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectOpt_n18(b *testing.B) {
+	cands := randomJurors(18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectOpt(cands, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

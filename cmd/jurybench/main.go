@@ -1,0 +1,87 @@
+// Command jurybench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	jurybench [-exp table2,fig3a,...|all] [-quick] [-seed N] [-list]
+//
+// Each experiment prints the rows/series the corresponding paper artifact
+// reports (Table 2 and Figures 3(a)–3(i)) plus the ablation studies from
+// DESIGN.md. -quick shrinks the workloads to CI scale; the default runs at
+// paper scale and can take minutes for the efficiency figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"juryselect/internal/experiments"
+)
+
+func main() {
+	var cfg benchConfig
+	flag.StringVar(&cfg.exp, "exp", "all", "comma-separated experiment ids, or 'all'")
+	flag.BoolVar(&cfg.quick, "quick", false, "run shrunk workloads (CI scale)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for synthetic workloads")
+	flag.BoolVar(&cfg.list, "list", false, "list experiment ids and exit")
+	flag.Parse()
+	os.Exit(runBench(cfg, os.Stdout, os.Stderr))
+}
+
+type benchConfig struct {
+	exp   string
+	quick bool
+	seed  int64
+	list  bool
+}
+
+func runBench(cfg benchConfig, out, errOut io.Writer) int {
+	if cfg.list {
+		for _, id := range experiments.List() {
+			fmt.Fprintln(out, id)
+		}
+		return 0
+	}
+
+	ecfg := experiments.DefaultConfig()
+	if cfg.quick {
+		ecfg = experiments.QuickConfig()
+	}
+	ecfg.Seed = cfg.seed
+
+	ids := experiments.List()
+	if cfg.exp != "all" {
+		ids = strings.Split(cfg.exp, ",")
+	}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		res, err := experiments.Run(id, ecfg)
+		if err != nil {
+			fmt.Fprintf(errOut, "jurybench: %v\n", err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(out, "# %s — %s (took %v)\n", res.ID, res.Title, res.Elapsed.Round(time.Millisecond))
+		if res.Table != nil {
+			if err := res.Table.Render(out); err != nil {
+				fmt.Fprintf(errOut, "jurybench: rendering %s: %v\n", id, err)
+				failed++
+			}
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(out, "note: %s\n", n)
+		}
+		fmt.Fprintln(out)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

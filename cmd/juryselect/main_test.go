@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `id,error_rate,cost
+A,0.1,0.15
+B,0.2,0.20
+C,0.2,0.25
+D,0.3,0.40
+E,0.3,0.65
+F,0.4,0.05
+G,0.4,0.05
+`
+
+func TestRunAltrFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	err := run(runConfig{input: "-", format: "csv", model: "altr"},
+		strings.NewReader(sampleCSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"jury size: 5", "0.07036", "A\t", "E\t"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunPayWithBudget(t *testing.T) {
+	var out bytes.Buffer
+	err := run(runConfig{input: "-", format: "csv", model: "pay", budget: 1},
+		strings.NewReader(sampleCSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "budget: 1") {
+		t.Errorf("output missing budget line:\n%s", out.String())
+	}
+}
+
+func TestRunPayExact(t *testing.T) {
+	var out bytes.Buffer
+	err := run(runConfig{input: "-", format: "csv", model: "pay", budget: 1, exact: true},
+		strings.NewReader(sampleCSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact optimum under budget 1 is {A,B,C} at 0.072.
+	if !strings.Contains(out.String(), "jury size: 3") {
+		t.Errorf("exact selection unexpected:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run(runConfig{input: "-", format: "csv", model: "altr", jsonOut: true},
+		strings.NewReader(sampleCSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"model": "altr"`, `"size": 5`, `"jurors"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONInput(t *testing.T) {
+	in := `[{"id":"A","error_rate":0.1},{"id":"B","error_rate":0.2},{"id":"C","error_rate":0.2}]`
+	var out bytes.Buffer
+	err := run(runConfig{input: "-", format: "json", model: "altr"},
+		strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jury size: 3") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  runConfig
+		in   string
+	}{
+		{"missing input", runConfig{format: "csv", model: "altr"}, ""},
+		{"bad format", runConfig{input: "-", format: "xml", model: "altr"}, sampleCSV},
+		{"bad model", runConfig{input: "-", format: "csv", model: "quantum"}, sampleCSV},
+		{"empty candidates", runConfig{input: "-", format: "csv", model: "altr"}, "id,error_rate\n"},
+		{"infeasible budget", runConfig{input: "-", format: "csv", model: "pay", budget: 0.01}, sampleCSV},
+		{"missing file", runConfig{input: "/nonexistent/path.csv", format: "csv", model: "altr"}, ""},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		if err := run(tc.cfg, strings.NewReader(tc.in), &out); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/jurors.csv"
+	if err := writeFile(path, sampleCSV); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(runConfig{input: path, format: "csv", model: "altr"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jury size: 5") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

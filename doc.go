@@ -1,0 +1,16 @@
+// Package juryselect is the root of a Go reproduction of "Whom to Ask?
+// Jury Selection for Decision Making Tasks on Micro-blog Services" (Cao,
+// She, Tong, Chen; PVLDB 5(11), 2012).
+//
+// Import the public API packages:
+//
+//	juryselect/jury      — JER computation, AltrALG/PayALG/exact selection,
+//	                       majority voting and task simulation
+//	juryselect/microblog — tweets → retweet graph → HITS/PageRank →
+//	                       error-rate/requirement estimation pipeline
+//
+// The benchmark harness regenerating every table and figure of the paper
+// lives in bench_test.go (go test -bench=.) and in cmd/jurybench (full
+// paper-scale runs). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package juryselect

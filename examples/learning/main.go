@@ -1,0 +1,116 @@
+// Learning the crowd: calibrate individual error rates from past votings,
+// then select the optimal jury for future tasks.
+//
+// The paper estimates ε from the retweet graph (§4.1); this example shows
+// the other estimation route its framework allows — observing how the
+// crowd actually voted. A requester has run a batch of past decision
+// tasks; the latent truths are unknown. Expectation–maximization recovers
+// both the truths and each juror's reliability, and jury selection then
+// uses those estimates for the next task.
+//
+// Run with: go run ./examples/learning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"juryselect/internal/randx"
+	"juryselect/jury"
+)
+
+const (
+	nJurors   = 15
+	pastTasks = 800
+)
+
+func main() {
+	// Hidden ground truth: each juror's real error rate. In production
+	// this is unknown; we use it here to generate history and to score the
+	// estimates afterwards.
+	src := randx.New(99)
+	trueRates := make([]float64, nJurors)
+	for i := range trueRates {
+		trueRates[i] = 0.05 + 0.4*src.Float64()
+	}
+
+	// Phase 1: the crowd answers past tasks; we only keep the votes.
+	history, err := jury.NewHistory(nJurors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < pastTasks; t++ {
+		truth := t%2 == 0
+		row := make([]jury.Vote, nJurors)
+		for i, e := range trueRates {
+			if src.Bernoulli(0.3) {
+				row[i] = jury.Abstain // not every juror answers every task
+				continue
+			}
+			votedYes := truth != src.Bernoulli(e) // wrong with probability e
+			if votedYes {
+				row[i] = jury.VoteYes
+			} else {
+				row[i] = jury.VoteNo
+			}
+		}
+		if err := history.Add(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Phase 2: learn error rates from the raw votes (no truths revealed).
+	res, err := jury.Learn(history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EM converged in %d iterations (log-likelihood %.1f)\n",
+		res.Iterations, res.LogLikelihood)
+	fmt.Println("\njuror   true ε   learned ε")
+	var mae float64
+	for i := range trueRates {
+		fmt.Printf("  %2d    %.3f     %.3f\n", i, trueRates[i], res.ErrorRates[i])
+		mae += math.Abs(trueRates[i] - res.ErrorRates[i])
+	}
+	fmt.Printf("mean absolute estimation error: %.4f\n\n", mae/nJurors)
+
+	// Phase 3: select juries with learned vs true rates and compare.
+	buildCands := func(rates []float64) []jury.Juror {
+		out := make([]jury.Juror, len(rates))
+		for i, e := range rates {
+			out[i] = jury.Juror{ID: fmt.Sprintf("j%02d", i), ErrorRate: e}
+		}
+		return out
+	}
+	learned, err := jury.SelectAltruistic(buildCands(res.ErrorRates))
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := jury.SelectAltruistic(buildCands(trueRates))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jury from learned rates: %v\n", learned.IDs())
+	fmt.Printf("jury from true rates:    %v\n", oracle.IDs())
+
+	// Score both selections under the TRUE rates: what actually matters is
+	// the real-world JER of the jury the learned estimates picked.
+	trueOf := func(sel jury.Selection) float64 {
+		var rates []float64
+		for _, j := range sel.Jurors {
+			for i := range trueRates {
+				if j.ID == fmt.Sprintf("j%02d", i) {
+					rates = append(rates, trueRates[i])
+				}
+			}
+		}
+		v, err := jury.JER(rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+	fmt.Printf("true JER of learned-rate jury: %.6f\n", trueOf(learned))
+	fmt.Printf("true JER of oracle jury:       %.6f\n", trueOf(oracle))
+}

@@ -1,0 +1,61 @@
+// Quickstart: reproduce the paper's motivation example (Figure 1 /
+// Table 2) with the public API.
+//
+// Seven micro-blog users A–G can answer the question "Is Turkey in Europe
+// or in Asia?". Their individual error rates are known. Whom should we ask
+// so that the majority answer is most likely correct?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"juryselect/jury"
+)
+
+func main() {
+	candidates := []jury.Juror{
+		{ID: "A", ErrorRate: 0.1},
+		{ID: "B", ErrorRate: 0.2},
+		{ID: "C", ErrorRate: 0.2},
+		{ID: "D", ErrorRate: 0.3},
+		{ID: "E", ErrorRate: 0.3},
+		{ID: "F", ErrorRate: 0.4},
+		{ID: "G", ErrorRate: 0.4},
+	}
+
+	// First: how good are some hand-picked juries? (Table 2.)
+	for _, ids := range [][]int{{2}, {0}, {2, 3, 4}, {0, 1, 2}, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4, 5, 6}} {
+		rates := make([]float64, len(ids))
+		names := ""
+		for i, id := range ids {
+			rates[i] = candidates[id].ErrorRate
+			if i > 0 {
+				names += ","
+			}
+			names += candidates[id].ID
+		}
+		v, err := jury.JER(rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("jury {%s}: JER = %.6f\n", names, v)
+	}
+
+	// Now let the solver pick the optimal jury (AltrALG, exact).
+	sel, err := jury.SelectAltruistic(candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal jury: %v (size %d)\n", sel.IDs(), sel.Size())
+	fmt.Printf("jury error rate: %.6f\n", sel.JER)
+
+	// Sanity-check with simulated majority votings.
+	out, err := jury.Simulate(sel.Rates(), 100000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated error rate over %d tasks: %.6f\n", out.Tasks, out.ErrorRate())
+}

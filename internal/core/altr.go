@@ -1,0 +1,114 @@
+package core
+
+import (
+	"juryselect/internal/jer"
+)
+
+// AltrOptions configures AltrALG (Algorithm 3).
+type AltrOptions struct {
+	// UseLowerBound enables the Lemma 2 pruning of Line 5–6: before an
+	// exact JER evaluation, the Paley–Zygmund lower bound is computed and,
+	// when it already exceeds the best JER seen, the candidate size is
+	// skipped.
+	UseLowerBound bool
+	// Algorithm selects the exact JER evaluator (Auto, DP, CBA). The paper
+	// assumes Algorithm 2 (CBA) is called; Auto is the practical default.
+	Algorithm jer.Algorithm
+	// Incremental switches from the paper-faithful per-size re-evaluation
+	// to a sweep that maintains the wrong-vote distribution across sizes,
+	// reducing the whole run from O(N²·polylog) to O(N²) total. Ablation;
+	// results are identical.
+	Incremental bool
+	// MaxSize caps the largest jury size considered (0 = no cap, sweep to
+	// N). Useful when the caller knows the optimum is small.
+	MaxSize int
+}
+
+// SelectAltr solves JSP under the Altruism Jurors Model with Algorithm 3:
+// sort candidates ascending by individual error rate, then for every odd
+// prefix size evaluate (or prune) the JER and keep the minimum. Lemma 3
+// guarantees the optimal jury of each size is a prefix of the sorted order,
+// so the returned jury is exactly optimal.
+func SelectAltr(cands []Juror, opts AltrOptions) (Selection, error) {
+	if err := ValidateCandidates(cands); err != nil {
+		return Selection{}, err
+	}
+	sorted := sortByErrorRate(cands)
+	maxN := len(sorted)
+	if opts.MaxSize > 0 && opts.MaxSize < maxN {
+		maxN = opts.MaxSize
+	}
+	if opts.Incremental {
+		return altrIncremental(sorted, maxN, opts)
+	}
+	return altrFaithful(sorted, maxN, opts)
+}
+
+// altrFaithful re-evaluates JER from scratch at every odd prefix size,
+// following Algorithm 3 literally.
+func altrFaithful(sorted []Juror, maxN int, opts AltrOptions) (Selection, error) {
+	rates := make([]float64, 0, maxN)
+	for _, j := range sorted[:maxN] {
+		rates = append(rates, j.ErrorRate)
+	}
+	best := Selection{JER: 2} // sentinel above any probability
+	bestN := 0
+	for n := 1; n <= maxN; n += 2 {
+		prefix := rates[:n]
+		if opts.UseLowerBound && bestN > 0 {
+			// Lines 5–6 of Algorithm 3: the bound is only applicable when
+			// γ < 1; otherwise JER is computed directly.
+			if lb, usable := jer.LowerBound(prefix); usable && lb > best.JER {
+				best.Pruned++
+				continue
+			}
+		}
+		v, err := jer.Compute(prefix, opts.Algorithm)
+		if err != nil {
+			return Selection{}, err
+		}
+		best.Evaluations++
+		if v < best.JER {
+			best.JER = v
+			bestN = n
+		}
+	}
+	best.Jurors = append([]Juror(nil), sorted[:bestN]...)
+	best.Cost = totalCost(best.Jurors)
+	return best, nil
+}
+
+// altrIncremental maintains the exact wrong-vote distribution across prefix
+// sizes with jer.Sweep, so extending the prefix by two jurors costs O(n)
+// instead of a fresh O(n²) or O(n log² n) evaluation.
+func altrIncremental(sorted []Juror, maxN int, opts AltrOptions) (Selection, error) {
+	sweep := jer.NewSweep()
+	best := Selection{JER: 2}
+	bestN := 0
+	for n := 1; n <= maxN; n += 2 {
+		// Extend the distribution to size n (two appends after the first).
+		for sweep.N() < n {
+			if err := sweep.Extend(sorted[sweep.N()].ErrorRate); err != nil {
+				return Selection{}, err
+			}
+		}
+		if opts.UseLowerBound && bestN > 0 {
+			if lb, usable := sweep.LowerBound(); usable && lb > best.JER {
+				best.Pruned++
+				continue
+			}
+		}
+		v, err := sweep.JER()
+		if err != nil {
+			return Selection{}, err
+		}
+		best.Evaluations++
+		if v < best.JER {
+			best.JER = v
+			bestN = n
+		}
+	}
+	best.Jurors = append([]Juror(nil), sorted[:bestN]...)
+	best.Cost = totalCost(best.Jurors)
+	return best, nil
+}

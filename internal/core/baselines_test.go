@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"juryselect/internal/randx"
+)
+
+func TestSelectRandomBasics(t *testing.T) {
+	src := randx.New(1)
+	cands := figure1()
+	sel, err := SelectRandom(cands, 3, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Size() != 3 {
+		t.Fatalf("size %d, want 3", sel.Size())
+	}
+	seen := map[string]bool{}
+	for _, j := range sel.Jurors {
+		if seen[j.ID] {
+			t.Fatalf("juror %s selected twice", j.ID)
+		}
+		seen[j.ID] = true
+	}
+}
+
+func TestSelectRandomBudget(t *testing.T) {
+	src := randx.New(2)
+	cands := figure1()
+	for i := 0; i < 20; i++ {
+		sel, err := SelectRandom(cands, 3, 0.5, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Cost > 0.5+1e-12 {
+			t.Fatalf("cost %g exceeds budget", sel.Cost)
+		}
+	}
+}
+
+func TestSelectRandomValidation(t *testing.T) {
+	src := randx.New(3)
+	cands := figure1()
+	if _, err := SelectRandom(cands, 2, 0, src); err == nil {
+		t.Error("expected error for even size")
+	}
+	if _, err := SelectRandom(cands, 0, 0, src); err == nil {
+		t.Error("expected error for zero size")
+	}
+	if _, err := SelectRandom(cands, 99, 0, src); err == nil {
+		t.Error("expected error for oversized jury")
+	}
+	if _, err := SelectRandom(nil, 1, 0, src); !errors.Is(err, ErrNoCandidates) {
+		t.Error("expected ErrNoCandidates")
+	}
+}
+
+func TestSelectRandomInfeasibleBudget(t *testing.T) {
+	src := randx.New(4)
+	cands := []Juror{{ErrorRate: 0.5, Cost: 10}, {ErrorRate: 0.5, Cost: 10}, {ErrorRate: 0.5, Cost: 10}}
+	if _, err := SelectRandom(cands, 3, 1, src); !errors.Is(err, ErrNoFeasibleJury) {
+		t.Fatalf("err = %v, want ErrNoFeasibleJury", err)
+	}
+}
+
+func TestSelectTopKMatchesTable2(t *testing.T) {
+	cands := figure1()
+	sel3, err := SelectTopK(cands, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sel3.JER, 0.072, 1e-9) {
+		t.Errorf("top-3 JER %.4f, want 0.072", sel3.JER)
+	}
+	sel7, err := SelectTopK(cands, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sel7.JER, 0.085248, 1e-9) {
+		t.Errorf("top-7 JER %.6f, want 0.085248", sel7.JER)
+	}
+	// Demonstrates why fixed size is a weaker strategy: AltrALG (size 5,
+	// 0.07036) beats both fixed sizes.
+	altr, err := SelectAltr(cands, AltrOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(altr.JER < sel3.JER && altr.JER < sel7.JER) {
+		t.Error("size sweep failed to beat fixed sizes on the motivation example")
+	}
+}
+
+func TestSelectTopKValidation(t *testing.T) {
+	cands := figure1()
+	if _, err := SelectTopK(cands, 4); err == nil {
+		t.Error("expected error for even k")
+	}
+	if _, err := SelectTopK(cands, 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := SelectTopK(cands, 9); err == nil {
+		t.Error("expected error for k > N")
+	}
+	if _, err := SelectTopK(nil, 1); !errors.Is(err, ErrNoCandidates) {
+		t.Error("expected ErrNoCandidates")
+	}
+}
+
+func TestSelectCheapestFirstMotivation(t *testing.T) {
+	// Cheapest-first on the motivation example with B = 1: F and G cost
+	// 0.05 each and are admitted first despite ε = 0.4; the JER-aware
+	// PayALG must do at least as well.
+	cands := figure1()
+	cheap, err := SelectCheapestFirst(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Cost > 1+1e-12 {
+		t.Fatalf("cheapest-first overshot budget: %g", cheap.Cost)
+	}
+	pay, err := SelectPay(cands, PayOptions{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pay.JER > cheap.JER+1e-12 {
+		t.Errorf("PayALG (%.4f) worse than cheapest-first (%.4f)", pay.JER, cheap.JER)
+	}
+}
+
+func TestSelectCheapestFirstOddSize(t *testing.T) {
+	cands := []Juror{
+		{ID: "a", ErrorRate: 0.3, Cost: 0.1},
+		{ID: "b", ErrorRate: 0.3, Cost: 0.1},
+		{ID: "c", ErrorRate: 0.3, Cost: 0.1},
+		{ID: "d", ErrorRate: 0.3, Cost: 0.1},
+	}
+	sel, err := SelectCheapestFirst(cands, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Size() != 3 {
+		t.Fatalf("size %d, want 3 (largest odd prefix)", sel.Size())
+	}
+}
+
+func TestSelectCheapestFirstValidation(t *testing.T) {
+	if _, err := SelectCheapestFirst(nil, 1); !errors.Is(err, ErrNoCandidates) {
+		t.Error("expected ErrNoCandidates")
+	}
+	if _, err := SelectCheapestFirst(figure1(), -1); err == nil {
+		t.Error("expected error for negative budget")
+	}
+	cands := []Juror{{ErrorRate: 0.5, Cost: 10}}
+	if _, err := SelectCheapestFirst(cands, 1); !errors.Is(err, ErrNoFeasibleJury) {
+		t.Error("expected ErrNoFeasibleJury")
+	}
+}

@@ -1,0 +1,179 @@
+// Package core implements the Jury Selection Problem (JSP) of the paper:
+// given a candidate juror set S, a crowdsourcing model (AltrM or PayM) and —
+// under PayM — a budget B, select an odd-size jury J ⊆ S minimizing the
+// Jury Error Rate JER(J) (Definition 9).
+//
+// The package contains the paper's two solvers and the ground-truth
+// reference:
+//
+//   - AltrALG (Algorithm 3): exact solver for the altruism model, justified
+//     by the prefix-optimality of Lemma 3, with the Paley–Zygmund
+//     lower-bound pruning of Lemma 2.
+//   - PayALG (Algorithm 4): greedy heuristic for the pay-as-you-go model,
+//     where JSP is NP-hard (Lemma 4).
+//   - Opt: exact exponential enumeration over allowed juries, used as the
+//     ground truth ("OPT") in Figures 3(e), 3(f), 3(h) and 3(i).
+//
+// Baselines used by the ablation experiments (random jury, fixed-size
+// top-k, cheapest-first) live in baselines.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"juryselect/internal/pbdist"
+)
+
+// Juror is one candidate worker on the micro-blog service.
+type Juror struct {
+	// ID identifies the juror (e.g. a user name). IDs are opaque to the
+	// solvers; duplicates are permitted but make reports ambiguous.
+	ID string
+	// ErrorRate is the individual error rate ε ∈ (0,1) of Definition 4.
+	ErrorRate float64
+	// Cost is the payment requirement r ≥ 0 of Definition 8. Ignored by
+	// the altruism model.
+	Cost float64
+}
+
+// Validate checks the juror's fields against the model definitions.
+func (j Juror) Validate() error {
+	if math.IsNaN(j.ErrorRate) || j.ErrorRate <= 0 || j.ErrorRate >= 1 {
+		return fmt.Errorf("core: juror %q: %w: ε = %g", j.ID, pbdist.ErrRateOutOfRange, j.ErrorRate)
+	}
+	if math.IsNaN(j.Cost) || j.Cost < 0 {
+		return fmt.Errorf("core: juror %q: negative or NaN cost %g", j.ID, j.Cost)
+	}
+	return nil
+}
+
+// ErrNoCandidates reports selection over an empty candidate set.
+var ErrNoCandidates = errors.New("core: no candidate jurors")
+
+// ErrNoFeasibleJury reports that no allowed jury exists, e.g. every single
+// juror already exceeds the PayM budget.
+var ErrNoFeasibleJury = errors.New("core: no feasible jury under the budget")
+
+// ValidateCandidates checks every candidate juror.
+func ValidateCandidates(cands []Juror) error {
+	if len(cands) == 0 {
+		return ErrNoCandidates
+	}
+	for _, j := range cands {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Selection is the outcome of a jury selection run.
+type Selection struct {
+	// Jurors is the selected jury, in the order the solver admitted them.
+	Jurors []Juror
+	// JER is the exact Jury Error Rate of the selected jury.
+	JER float64
+	// Cost is the total payment requirement Σr of the selected jury.
+	Cost float64
+	// Evaluations counts exact JER computations the solver performed.
+	Evaluations int
+	// Pruned counts candidate juries skipped via the Lemma 2 lower bound.
+	Pruned int
+}
+
+// Size returns the number of selected jurors.
+func (s Selection) Size() int { return len(s.Jurors) }
+
+// IDs returns the selected juror IDs in admission order.
+func (s Selection) IDs() []string {
+	ids := make([]string, len(s.Jurors))
+	for i, j := range s.Jurors {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+// Rates returns the selected jurors' error rates in admission order.
+func (s Selection) Rates() []float64 {
+	rates := make([]float64, len(s.Jurors))
+	for i, j := range s.Jurors {
+		rates[i] = j.ErrorRate
+	}
+	return rates
+}
+
+// Model is a crowdsourcing model deciding which juries are allowed
+// (Definitions 7 and 8).
+type Model interface {
+	// Allowed reports whether a jury with the given total cost may be
+	// formed.
+	Allowed(totalCost float64) bool
+	// Name returns the model name for reports.
+	Name() string
+}
+
+// AltrM is the Altruism Jurors Model (Definition 7): every jury is allowed.
+type AltrM struct{}
+
+// Allowed always returns true under AltrM.
+func (AltrM) Allowed(float64) bool { return true }
+
+// Name returns "AltrM".
+func (AltrM) Name() string { return "AltrM" }
+
+// PayM is the Pay-as-you-go Model (Definition 8): a jury is allowed when its
+// total payment requirement does not exceed the budget.
+type PayM struct {
+	// Budget is the non-negative budget B.
+	Budget float64
+}
+
+// Allowed reports totalCost ≤ B.
+func (m PayM) Allowed(totalCost float64) bool { return totalCost <= m.Budget }
+
+// Name returns "PayM".
+func (m PayM) Name() string { return "PayM" }
+
+// totalCost sums the cost of a juror slice.
+func totalCost(jurors []Juror) float64 {
+	sum := 0.0
+	for _, j := range jurors {
+		sum += j.Cost
+	}
+	return sum
+}
+
+// sortByErrorRate returns a copy of cands sorted ascending by ε, breaking
+// ties by ID for determinism.
+func sortByErrorRate(cands []Juror) []Juror {
+	out := make([]Juror, len(cands))
+	copy(out, cands)
+	sort.SliceStable(out, func(i, k int) bool {
+		if out[i].ErrorRate != out[k].ErrorRate {
+			return out[i].ErrorRate < out[k].ErrorRate
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// sortByCostQuality returns a copy of cands sorted ascending by the ε·r
+// product PayALG uses (Algorithm 4, Line 1), breaking ties by cost then ID.
+func sortByCostQuality(cands []Juror) []Juror {
+	out := make([]Juror, len(cands))
+	copy(out, cands)
+	sort.SliceStable(out, func(i, k int) bool {
+		pi, pk := out[i].ErrorRate*out[i].Cost, out[k].ErrorRate*out[k].Cost
+		if pi != pk {
+			return pi < pk
+		}
+		if out[i].Cost != out[k].Cost {
+			return out[i].Cost < out[k].Cost
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}

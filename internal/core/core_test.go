@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"juryselect/internal/pbdist"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// figure1 builds the seven jurors of the paper's motivation example,
+// including the payment requirements mentioned for D ($0.4) and E ($0.65).
+func figure1() []Juror {
+	return []Juror{
+		{ID: "A", ErrorRate: 0.1, Cost: 0.15},
+		{ID: "B", ErrorRate: 0.2, Cost: 0.2},
+		{ID: "C", ErrorRate: 0.2, Cost: 0.25},
+		{ID: "D", ErrorRate: 0.3, Cost: 0.4},
+		{ID: "E", ErrorRate: 0.3, Cost: 0.65},
+		{ID: "F", ErrorRate: 0.4, Cost: 0.05},
+		{ID: "G", ErrorRate: 0.4, Cost: 0.05},
+	}
+}
+
+func TestJurorValidate(t *testing.T) {
+	good := Juror{ID: "x", ErrorRate: 0.5, Cost: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid juror rejected: %v", err)
+	}
+	bad := []Juror{
+		{ID: "a", ErrorRate: 0, Cost: 0},
+		{ID: "b", ErrorRate: 1, Cost: 0},
+		{ID: "c", ErrorRate: -0.5, Cost: 0},
+		{ID: "d", ErrorRate: math.NaN(), Cost: 0},
+		{ID: "e", ErrorRate: 0.5, Cost: -1},
+		{ID: "f", ErrorRate: 0.5, Cost: math.NaN()},
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("juror %q accepted with ε=%g cost=%g", j.ID, j.ErrorRate, j.Cost)
+		}
+	}
+}
+
+func TestValidateCandidatesEmpty(t *testing.T) {
+	if err := ValidateCandidates(nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestValidateCandidatesPropagatesRateError(t *testing.T) {
+	err := ValidateCandidates([]Juror{{ID: "x", ErrorRate: 2}})
+	if !errors.Is(err, pbdist.ErrRateOutOfRange) {
+		t.Fatalf("err = %v, want ErrRateOutOfRange", err)
+	}
+}
+
+func TestModels(t *testing.T) {
+	if !(AltrM{}).Allowed(1e18) {
+		t.Error("AltrM must allow any cost")
+	}
+	if (AltrM{}).Name() != "AltrM" {
+		t.Error("AltrM name")
+	}
+	m := PayM{Budget: 1}
+	if !m.Allowed(1) || m.Allowed(1.01) {
+		t.Error("PayM budget boundary broken")
+	}
+	if m.Name() != "PayM" {
+		t.Error("PayM name")
+	}
+}
+
+func TestSelectionAccessors(t *testing.T) {
+	s := Selection{Jurors: []Juror{{ID: "a", ErrorRate: 0.1, Cost: 1}, {ID: "b", ErrorRate: 0.2, Cost: 2}}}
+	if s.Size() != 2 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	if ids := s.IDs(); ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v", ids)
+	}
+	if r := s.Rates(); r[0] != 0.1 || r[1] != 0.2 {
+		t.Errorf("Rates = %v", r)
+	}
+}
+
+func TestSortByErrorRateStableDeterministic(t *testing.T) {
+	cands := figure1()
+	sorted := sortByErrorRate(cands)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].ErrorRate > sorted[i].ErrorRate {
+			t.Fatalf("not sorted at %d: %v", i, sorted)
+		}
+		if sorted[i-1].ErrorRate == sorted[i].ErrorRate && sorted[i-1].ID > sorted[i].ID {
+			t.Fatalf("tie not broken by ID at %d: %v", i, sorted)
+		}
+	}
+	// Input must not be mutated.
+	if cands[0].ID != "A" {
+		t.Fatal("input slice mutated")
+	}
+}
+
+func TestSortByCostQuality(t *testing.T) {
+	cands := []Juror{
+		{ID: "x", ErrorRate: 0.5, Cost: 0.4}, // product 0.20
+		{ID: "y", ErrorRate: 0.1, Cost: 1.0}, // product 0.10
+		{ID: "z", ErrorRate: 0.2, Cost: 0.5}, // product 0.10, cheaper
+	}
+	sorted := sortByCostQuality(cands)
+	wantOrder := []string{"z", "y", "x"}
+	for i, id := range wantOrder {
+		if sorted[i].ID != id {
+			t.Fatalf("order = %v, want %v", sorted, wantOrder)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"juryselect/internal/jer"
+	"juryselect/internal/pbdist"
+)
+
+// MaxOptCandidates bounds the candidate-set size accepted by SelectOpt.
+// The enumeration visits 2^N subsets; 26 keeps worst-case runtime in the
+// tens of seconds. The paper's ground-truth runs use N = 22 (Figures 3(e),
+// 3(f)) and N = 20 (Figures 3(h), 3(i)).
+const MaxOptCandidates = 26
+
+// SelectOpt solves JSP under PayM exactly by depth-first enumeration of all
+// subsets, maintaining the exact wrong-vote distribution incrementally
+// (O(n) per branch instead of re-deriving it at every leaf). Only odd-size,
+// budget-feasible juries are evaluated; branches whose cost already exceeds
+// the budget are cut (costs are non-negative, so no descendant can recover).
+//
+// This is the "OPT"/"TRUE" ground truth of the paper's effectiveness
+// experiments. It is exponential in len(cands) and rejects candidate sets
+// larger than MaxOptCandidates.
+func SelectOpt(cands []Juror, budget float64) (Selection, error) {
+	if err := ValidateCandidates(cands); err != nil {
+		return Selection{}, err
+	}
+	if budget < 0 {
+		return Selection{}, errors.New("core: negative budget")
+	}
+	if len(cands) > MaxOptCandidates {
+		return Selection{}, fmt.Errorf("core: SelectOpt supports at most %d candidates, got %d",
+			MaxOptCandidates, len(cands))
+	}
+
+	e := optEnum{
+		cands:   cands,
+		budget:  budget,
+		bestJER: 2,
+	}
+	e.dfs(0, 0)
+	if e.bestMask == 0 {
+		return Selection{}, ErrNoFeasibleJury
+	}
+	sel := Selection{JER: e.bestJER, Evaluations: e.evals}
+	for i := range cands {
+		if e.bestMask&(1<<uint(i)) != 0 {
+			sel.Jurors = append(sel.Jurors, cands[i])
+		}
+	}
+	sel.Cost = totalCost(sel.Jurors)
+	return sel, nil
+}
+
+type optEnum struct {
+	cands    []Juror
+	budget   float64
+	dist     pbdist.Dist
+	mask     uint32
+	bestMask uint32
+	bestJER  float64
+	evals    int
+}
+
+// dfs explores include/exclude decisions for candidate i with the running
+// subset cost. The wrong-vote distribution for the current subset is kept in
+// e.dist via Append/Pop.
+func (e *optEnum) dfs(i int, cost float64) {
+	if i == len(e.cands) {
+		n := e.dist.N()
+		if n == 0 || n%2 == 0 {
+			return
+		}
+		e.evals++
+		v := e.dist.TailAtLeast(jer.FailThreshold(n))
+		// Strict inequality keeps the first (lexicographically smallest
+		// mask) optimum, making results deterministic.
+		if v < e.bestJER {
+			e.bestJER = v
+			e.bestMask = e.mask
+		}
+		return
+	}
+	// Exclude candidate i.
+	e.dfs(i+1, cost)
+	// Include candidate i if the budget allows.
+	c := e.cands[i].Cost
+	if cost+c > e.budget {
+		return
+	}
+	if err := e.dist.Append(e.cands[i].ErrorRate); err != nil {
+		// Rates were validated up front; Append cannot fail here.
+		panic(err)
+	}
+	e.mask |= 1 << uint(i)
+	e.dfs(i+1, cost+c)
+	e.mask &^= 1 << uint(i)
+	if err := e.dist.Pop(); err != nil {
+		panic(err)
+	}
+}

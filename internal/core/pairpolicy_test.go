@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"juryselect/internal/randx"
+)
+
+func TestPairSlidingEscapesBlockedPair(t *testing.T) {
+	// On the motivation-example market with budget 1, the literal
+	// (blocking) greedy gets stuck at the seed {A} because the cheap noisy
+	// F occupies the pair slot and every (F, ·) pair worsens the JER. The
+	// sliding policy advances past F and finds {A,B,C}.
+	market := figure1()
+	blocking, err := SelectPay(market, PayOptions{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Size() != 1 || blocking.Jurors[0].ID != "A" {
+		t.Fatalf("blocking selection changed: %v (JER %.4f) — update this test's premise",
+			blocking.IDs(), blocking.JER)
+	}
+	sliding, err := SelectPay(market, PayOptions{Budget: 1, Pairing: PairSliding})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliding.Size() != 3 || !almostEqual(sliding.JER, 0.072, 1e-9) {
+		t.Fatalf("sliding selection = %v (JER %.4f), want {A,B,C} at 0.072",
+			sliding.IDs(), sliding.JER)
+	}
+	if sliding.Cost > 1+1e-12 {
+		t.Fatalf("sliding overshot budget: %g", sliding.Cost)
+	}
+}
+
+func TestPairPoliciesAreIncomparableHeuristics(t *testing.T) {
+	// Neither pair policy dominates: sliding escapes blocked pairs (it
+	// wins on the motivation example above) but discards better-ranked
+	// pair candidates that blocking would have held on to, so each policy
+	// wins on some markets. This test documents that empirical fact and
+	// pins the shared invariants: both stay within budget and both match
+	// or beat their common seed juror.
+	src := randx.New(909)
+	var slidingWins, blockingWins int
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + src.Intn(30)
+		cands := make([]Juror, n)
+		for i := range cands {
+			cands[i] = Juror{
+				ErrorRate: src.TruncNormal(0.3, 0.2, 0, 1),
+				Cost:      src.TruncNormal(0.3, 0.3, 0, 2),
+			}
+		}
+		budget := 0.2 + 2*src.Float64()
+		b, errB := SelectPay(cands, PayOptions{Budget: budget})
+		s, errS := SelectPay(cands, PayOptions{Budget: budget, Pairing: PairSliding})
+		if errors.Is(errB, ErrNoFeasibleJury) || errors.Is(errS, ErrNoFeasibleJury) {
+			continue
+		}
+		if errB != nil || errS != nil {
+			t.Fatalf("trial %d: %v / %v", trial, errB, errS)
+		}
+		for _, sel := range []Selection{b, s} {
+			if sel.Cost > budget+1e-12 {
+				t.Fatalf("trial %d: selection overshot budget", trial)
+			}
+			// The first jury element is the seed; admissions only ever
+			// improve JER, so the result cannot be worse than the seed.
+			if sel.JER > sel.Jurors[0].ErrorRate+1e-12 {
+				t.Fatalf("trial %d: JER %g worse than seed ε %g",
+					trial, sel.JER, sel.Jurors[0].ErrorRate)
+			}
+		}
+		switch {
+		case s.JER < b.JER-1e-12:
+			slidingWins++
+		case b.JER < s.JER-1e-12:
+			blockingWins++
+		}
+	}
+	if slidingWins == 0 {
+		t.Error("sliding never beat blocking across 200 markets; expected some wins")
+	}
+	if blockingWins == 0 {
+		t.Error("blocking never beat sliding across 200 markets; expected some wins")
+	}
+}
+
+func TestPairSlidingRespectsOddSizeAndBudget(t *testing.T) {
+	src := randx.New(910)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + src.Intn(40)
+		cands := make([]Juror, n)
+		for i := range cands {
+			cands[i] = Juror{
+				ErrorRate: src.TruncNormal(0.4, 0.2, 0, 1),
+				Cost:      src.TruncNormal(0.2, 0.2, 0, 1),
+			}
+		}
+		budget := src.Float64() * 2
+		sel, err := SelectPay(cands, PayOptions{Budget: budget, Pairing: PairSliding})
+		if errors.Is(err, ErrNoFeasibleJury) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Size()%2 != 1 {
+			t.Fatalf("even size %d", sel.Size())
+		}
+		if sel.Cost > budget+1e-12 {
+			t.Fatalf("cost %g over budget %g", sel.Cost, budget)
+		}
+	}
+}

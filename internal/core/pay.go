@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+
+	"juryselect/internal/jer"
+)
+
+// PairPolicy controls what happens to the buffered "pair" candidate when a
+// pair admission fails (Algorithm 4, Lines 9–15).
+type PairPolicy int
+
+const (
+	// PairBlocking is the literal pseudocode: the buffered pair persists
+	// until some later candidate succeeds alongside it. A cheap but noisy
+	// candidate can therefore occupy the slot forever and freeze the jury
+	// at its seed (see the examples/budget walk-through).
+	PairBlocking PairPolicy = iota
+	// PairSliding is an extension (not in the paper): when admission
+	// fails, the buffered pair advances to the newer candidate if that
+	// candidate is itself affordable, so one bad candidate cannot block
+	// all of its successors. The result is never worse than the seed and
+	// in heterogeneous markets often matches the exact optimum; the
+	// ablation harness quantifies the difference.
+	PairSliding
+)
+
+// PayOptions configures PayALG (Algorithm 4).
+type PayOptions struct {
+	// Budget is the non-negative budget B of Definition 8.
+	Budget float64
+	// Algorithm selects the JER evaluator used for the improvement checks.
+	Algorithm jer.Algorithm
+	// Strict replicates the paper's pseudocode bookkeeping literally: the
+	// accumulated requirement r is never increased after the seed juror
+	// (the pseudocode omits the update on Line 13). The default (false)
+	// applies the obvious fix r += r_pair + r_m, so the budget constraint
+	// actually binds. See DESIGN.md §5.
+	Strict bool
+	// Pairing selects the pair-slot policy; the default PairBlocking is
+	// the published pseudocode.
+	Pairing PairPolicy
+}
+
+// SelectPay solves JSP under the Pay-as-you-go Model with the greedy
+// heuristic of Algorithm 4:
+//
+//  1. Sort candidates ascending by ε_i·r_i (quality-for-money).
+//  2. Seed the jury with the first affordable candidate.
+//  3. Scan the rest, buffering one candidate as the "pair"; when a second
+//     affordable candidate appears, admit the pair of them only if doing so
+//     does not increase the jury's JER (juries must stay odd, hence growth
+//     by two).
+//
+// JSP on PayM is NP-hard (Lemma 4), so the result is heuristic; SelectOpt
+// provides the exponential exact answer for small candidate sets.
+func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
+	if err := ValidateCandidates(cands); err != nil {
+		return Selection{}, err
+	}
+	if opts.Budget < 0 {
+		return Selection{}, errors.New("core: negative budget")
+	}
+	sorted := sortByCostQuality(cands)
+
+	// Lines 3–5: find the first candidate whose requirement fits the
+	// budget on its own.
+	seed := -1
+	for i, j := range sorted {
+		if j.Cost <= opts.Budget {
+			seed = i
+			break
+		}
+	}
+	if seed == -1 {
+		return Selection{}, ErrNoFeasibleJury
+	}
+
+	sel := Selection{}
+	jury := []Juror{sorted[seed]}
+	rates := []float64{sorted[seed].ErrorRate}
+	spent := sorted[seed].Cost
+	curJER, err := jer.Compute(rates, opts.Algorithm)
+	if err != nil {
+		return Selection{}, err
+	}
+	sel.Evaluations++
+
+	// Lines 8–16: grow by pairs.
+	havePair := false
+	var pair Juror
+	for m := seed + 1; m < len(sorted); m++ {
+		cand := sorted[m]
+		if !havePair {
+			if spent+cand.Cost <= opts.Budget {
+				pair = cand
+				havePair = true
+			}
+			continue
+		}
+		if spent+pair.Cost+cand.Cost > opts.Budget {
+			slidePair(&pair, cand, spent, opts)
+			continue
+		}
+		extended := append(append([]float64{}, rates...), pair.ErrorRate, cand.ErrorRate)
+		v, err := jer.Compute(extended, opts.Algorithm)
+		if err != nil {
+			return Selection{}, err
+		}
+		sel.Evaluations++
+		if v <= curJER {
+			jury = append(jury, pair, cand)
+			rates = extended
+			curJER = v
+			if !opts.Strict {
+				spent += pair.Cost + cand.Cost
+			}
+			havePair = false
+		} else {
+			slidePair(&pair, cand, spent, opts)
+		}
+	}
+
+	sel.Jurors = jury
+	sel.JER = curJER
+	sel.Cost = totalCost(jury)
+	return sel, nil
+}
+
+// slidePair advances the buffered pair to cand under PairSliding when cand
+// is itself an affordable pair candidate; when cand is unaffordable the old
+// pair is kept (it may still combine with a cheaper later candidate). Under
+// PairBlocking it is a no-op.
+func slidePair(pair *Juror, cand Juror, spent float64, opts PayOptions) {
+	if opts.Pairing != PairSliding {
+		return
+	}
+	if spent+cand.Cost <= opts.Budget {
+		*pair = cand
+	}
+}

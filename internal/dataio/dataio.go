@@ -1,0 +1,152 @@
+// Package dataio reads and writes candidate-juror datasets in CSV and JSON.
+// It backs cmd/juryselect and gives downstream users a stable interchange
+// format for estimated crowds:
+//
+//	CSV:  header "id,error_rate,cost" (cost optional), one juror per row.
+//	JSON: array of {"id": ..., "error_rate": ..., "cost": ...} objects.
+package dataio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"juryselect/internal/core"
+)
+
+// ErrNoJurors reports an input containing no juror rows.
+var ErrNoJurors = errors.New("dataio: no juror rows in input")
+
+// ReadCSV parses jurors from CSV. The first row is treated as a header when
+// its error_rate column does not parse as a number. Rows must have two or
+// three fields: id, error_rate, and optionally cost. Parsed jurors are
+// validated against the model constraints (ε ∈ (0,1), cost ≥ 0).
+func ReadCSV(r io.Reader) ([]core.Juror, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: reading CSV: %w", err)
+	}
+	var jurors []core.Juror
+	for i, row := range rows {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("dataio: row %d: want at least 2 fields (id,error_rate), got %d", i+1, len(row))
+		}
+		rate, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			if i == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataio: row %d: bad error_rate %q", i+1, row[1])
+		}
+		j := core.Juror{ID: row[0], ErrorRate: rate}
+		if len(row) >= 3 && row[2] != "" {
+			cost, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: row %d: bad cost %q", i+1, row[2])
+			}
+			j.Cost = cost
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("dataio: row %d: %w", i+1, err)
+		}
+		jurors = append(jurors, j)
+	}
+	if len(jurors) == 0 {
+		return nil, ErrNoJurors
+	}
+	return jurors, nil
+}
+
+// WriteCSV writes jurors as CSV with a header.
+func WriteCSV(w io.Writer, jurors []core.Juror) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "error_rate", "cost"}); err != nil {
+		return fmt.Errorf("dataio: writing CSV: %w", err)
+	}
+	for _, j := range jurors {
+		rec := []string{
+			j.ID,
+			strconv.FormatFloat(j.ErrorRate, 'g', -1, 64),
+			strconv.FormatFloat(j.Cost, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataio: writing CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jurorJSON is the JSON wire form of a juror.
+type jurorJSON struct {
+	ID        string  `json:"id"`
+	ErrorRate float64 `json:"error_rate"`
+	Cost      float64 `json:"cost,omitempty"`
+}
+
+// ReadJSON parses jurors from a JSON array and validates them.
+func ReadJSON(r io.Reader) ([]core.Juror, error) {
+	var raw []jurorJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("dataio: decoding JSON: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, ErrNoJurors
+	}
+	jurors := make([]core.Juror, len(raw))
+	for i, rj := range raw {
+		jurors[i] = core.Juror{ID: rj.ID, ErrorRate: rj.ErrorRate, Cost: rj.Cost}
+		if err := jurors[i].Validate(); err != nil {
+			return nil, fmt.Errorf("dataio: juror %d: %w", i, err)
+		}
+	}
+	return jurors, nil
+}
+
+// WriteJSON writes jurors as an indented JSON array.
+func WriteJSON(w io.Writer, jurors []core.Juror) error {
+	raw := make([]jurorJSON, len(jurors))
+	for i, j := range jurors {
+		raw[i] = jurorJSON{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(raw); err != nil {
+		return fmt.Errorf("dataio: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// SelectionJSON is the JSON report form of a selection outcome, used by
+// cmd/juryselect -json.
+type SelectionJSON struct {
+	Model   string   `json:"model"`
+	Budget  float64  `json:"budget,omitempty"`
+	Size    int      `json:"size"`
+	JER     float64  `json:"jury_error_rate"`
+	Cost    float64  `json:"total_cost"`
+	JurorID []string `json:"jurors"`
+}
+
+// WriteSelection writes a selection report as indented JSON.
+func WriteSelection(w io.Writer, model string, budget float64, sel core.Selection) error {
+	rep := SelectionJSON{
+		Model:   model,
+		Budget:  budget,
+		Size:    sel.Size(),
+		JER:     sel.JER,
+		Cost:    sel.Cost,
+		JurorID: sel.IDs(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

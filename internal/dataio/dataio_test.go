@@ -1,0 +1,140 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"juryselect/internal/core"
+)
+
+func TestReadCSVWithHeader(t *testing.T) {
+	in := "id,error_rate,cost\nA,0.1,0.15\nB,0.2,0.2\n"
+	jurors, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jurors) != 2 {
+		t.Fatalf("got %d jurors", len(jurors))
+	}
+	if jurors[0].ID != "A" || jurors[0].ErrorRate != 0.1 || jurors[0].Cost != 0.15 {
+		t.Fatalf("juror[0] = %+v", jurors[0])
+	}
+}
+
+func TestReadCSVWithoutHeaderOrCost(t *testing.T) {
+	in := "A,0.1\nB,0.2\n"
+	jurors, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jurors) != 2 || jurors[1].Cost != 0 {
+		t.Fatalf("jurors = %+v", jurors)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"header only":       "id,error_rate\n",
+		"one field":         "A\n",
+		"bad rate mid":      "A,0.1\nB,xyz\n",
+		"bad cost":          "A,0.1,nope\n",
+		"rate out of range": "A,1.5\n",
+		"negative cost":     "A,0.5,-1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error for %q", name, in)
+		}
+	}
+}
+
+func TestReadCSVEmptyIsErrNoJurors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("id,error_rate\n")); !errors.Is(err, ErrNoJurors) {
+		t.Fatalf("err = %v, want ErrNoJurors", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := []core.Juror{
+		{ID: "A", ErrorRate: 0.1, Cost: 0.15},
+		{ID: "with,comma", ErrorRate: 0.25, Cost: 0},
+		{ID: "tiny", ErrorRate: 1e-10, Cost: 2.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d jurors, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("juror %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	want := []core.Juror{
+		{ID: "A", ErrorRate: 0.1, Cost: 0.15},
+		{ID: "B", ErrorRate: 0.2},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d jurors", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("juror %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"not json":      "nope",
+		"empty array":   "[]",
+		"unknown field": `[{"id":"a","error_rate":0.5,"extra":1}]`,
+		"invalid rate":  `[{"id":"a","error_rate":2}]`,
+		"negative cost": `[{"id":"a","error_rate":0.5,"cost":-3}]`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader("[]")); !errors.Is(err, ErrNoJurors) {
+		t.Error("empty array should be ErrNoJurors")
+	}
+}
+
+func TestWriteSelection(t *testing.T) {
+	sel := core.Selection{
+		Jurors: []core.Juror{{ID: "A", ErrorRate: 0.1, Cost: 0.5}},
+		JER:    0.1,
+		Cost:   0.5,
+	}
+	var buf bytes.Buffer
+	if err := WriteSelection(&buf, "pay", 1.0, sel); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"model": "pay"`, `"budget": 1`, `"jury_error_rate": 0.1`, `"A"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selection JSON missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package estimate implements the parameter-estimation stage of Section 4:
+// turning ranking scores into individual error rates (§4.1.3) and account
+// ages into payment requirements (§4.2). The outputs feed the jury
+// selection solvers in internal/core.
+package estimate
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultAlpha and DefaultBeta are the normalization factors the paper uses
+// in its experiments (§5.2: "normalized according to the equation in
+// Section 4.1.3 with parameter α = 10, β = 10").
+const (
+	DefaultAlpha = 10
+	DefaultBeta  = 10
+)
+
+// epsClamp keeps estimated error rates strictly inside (0,1) as
+// Definition 4 requires: the lowest-scoring user would otherwise receive
+// ε = β⁰ = 1 exactly.
+const epsClamp = 1e-12
+
+// ErrNoScores reports an empty score vector.
+var ErrNoScores = errors.New("estimate: no scores")
+
+// ErrDegenerateScores reports that max(score) == min(score), making the
+// normalization denominator zero.
+var ErrDegenerateScores = errors.New("estimate: all scores identical")
+
+// ErrorRates maps quality scores to individual error rates with the
+// normalization of §4.1.3:
+//
+//	ε_i = β^(−α·(score_i − min)/(max − min))
+//
+// High scores yield low error rates: the top scorer gets β^(−α) (1e−10 with
+// the defaults) and the bottom scorer gets β⁰ = 1, clamped into (0,1). The
+// power-law spread of micro-blog scores makes the exponent cover its full
+// range, which §5.2 relies on.
+func ErrorRates(scores []float64, alpha, beta float64) ([]float64, error) {
+	if len(scores) == 0 {
+		return nil, ErrNoScores
+	}
+	if alpha <= 0 || beta <= 1 {
+		return nil, errors.New("estimate: require alpha > 0 and beta > 1")
+	}
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores[1:] {
+		if math.IsNaN(s) {
+			return nil, errors.New("estimate: NaN score")
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		return nil, ErrDegenerateScores
+	}
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		e := math.Pow(beta, -alpha*(s-lo)/(hi-lo))
+		if e <= 0 {
+			e = epsClamp
+		}
+		if e >= 1 {
+			e = 1 - epsClamp
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// Requirements maps account ages to payment requirements with the
+// normalization of §4.2:
+//
+//	r_i = (t_i − min)/(max − min)
+//
+// so the oldest (most experienced, least interested) account requires 1 and
+// the newest requires 0. Identical ages degenerate to all-zero requirements
+// (everyone equally, minimally demanding), which keeps the PayM pipeline
+// total; the condition is reported via degenerate for callers that care.
+func Requirements(ages []float64) (reqs []float64, degenerate bool, err error) {
+	if len(ages) == 0 {
+		return nil, false, errors.New("estimate: no ages")
+	}
+	lo, hi := ages[0], ages[0]
+	for _, a := range ages[1:] {
+		if math.IsNaN(a) {
+			return nil, false, errors.New("estimate: NaN age")
+		}
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	reqs = make([]float64, len(ages))
+	if hi == lo {
+		return reqs, true, nil
+	}
+	for i, a := range ages {
+		reqs[i] = (a - lo) / (hi - lo)
+	}
+	return reqs, false, nil
+}

@@ -1,0 +1,174 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErrorRatesEndpoints(t *testing.T) {
+	// Top scorer gets β^(-α) = 1e-10; bottom scorer gets 1 clamped into
+	// (0,1).
+	rates, err := ErrorRates([]float64{0, 1}, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[1]-1e-10) > 1e-15 {
+		t.Errorf("top scorer ε = %g, want 1e-10", rates[1])
+	}
+	if rates[0] >= 1 || rates[0] < 0.999 {
+		t.Errorf("bottom scorer ε = %g, want just below 1", rates[0])
+	}
+}
+
+func TestErrorRatesMonotoneDecreasingInScore(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.2, 0.9, 0.3}
+	rates, err := ErrorRates(scores, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scores {
+		for j := range scores {
+			if scores[i] < scores[j] && rates[i] <= rates[j] {
+				t.Fatalf("monotonicity violated: score %g→ε %g vs score %g→ε %g",
+					scores[i], rates[i], scores[j], rates[j])
+			}
+		}
+	}
+}
+
+func TestErrorRatesAlwaysInOpenUnitInterval(t *testing.T) {
+	f := func(raw []float64) bool {
+		scores := make([]float64, 0, len(raw))
+		for _, s := range raw {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				scores = append(scores, s)
+			}
+		}
+		if len(scores) < 2 {
+			return true
+		}
+		rates, err := ErrorRates(scores, DefaultAlpha, DefaultBeta)
+		if errors.Is(err, ErrDegenerateScores) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		for _, e := range rates {
+			if e <= 0 || e >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorRatesValidation(t *testing.T) {
+	if _, err := ErrorRates(nil, 10, 10); !errors.Is(err, ErrNoScores) {
+		t.Errorf("err = %v, want ErrNoScores", err)
+	}
+	if _, err := ErrorRates([]float64{1, 1, 1}, 10, 10); !errors.Is(err, ErrDegenerateScores) {
+		t.Errorf("err = %v, want ErrDegenerateScores", err)
+	}
+	if _, err := ErrorRates([]float64{0, 1}, -1, 10); err == nil {
+		t.Error("expected error for alpha <= 0")
+	}
+	if _, err := ErrorRates([]float64{0, 1}, 10, 1); err == nil {
+		t.Error("expected error for beta <= 1")
+	}
+	if _, err := ErrorRates([]float64{0, math.NaN()}, 10, 10); err == nil {
+		t.Error("expected error for NaN score")
+	}
+}
+
+func TestErrorRatesScaleInvariance(t *testing.T) {
+	// The normalization uses (s-min)/(max-min), so affine rescaling of the
+	// scores must not change the output.
+	scores := []float64{0.2, 0.4, 0.7, 1.5}
+	scaled := make([]float64, len(scores))
+	for i, s := range scores {
+		scaled[i] = 100*s + 42
+	}
+	a, err := ErrorRates(scores, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErrorRates(scaled, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("index %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRequirementsNormalization(t *testing.T) {
+	reqs, degenerate, err := Requirements([]float64{100, 300, 200})
+	if err != nil || degenerate {
+		t.Fatalf("err=%v degenerate=%v", err, degenerate)
+	}
+	want := []float64{0, 1, 0.5}
+	for i := range want {
+		if math.Abs(reqs[i]-want[i]) > 1e-12 {
+			t.Fatalf("reqs = %v, want %v", reqs, want)
+		}
+	}
+}
+
+func TestRequirementsDegenerate(t *testing.T) {
+	reqs, degenerate, err := Requirements([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degenerate {
+		t.Fatal("expected degenerate flag")
+	}
+	for _, r := range reqs {
+		if r != 0 {
+			t.Fatalf("degenerate reqs = %v, want zeros", reqs)
+		}
+	}
+}
+
+func TestRequirementsValidation(t *testing.T) {
+	if _, _, err := Requirements(nil); err == nil {
+		t.Error("expected error for empty ages")
+	}
+	if _, _, err := Requirements([]float64{1, math.NaN()}); err == nil {
+		t.Error("expected error for NaN age")
+	}
+}
+
+func TestRequirementsRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		ages := make([]float64, 0, len(raw))
+		for _, a := range raw {
+			if !math.IsNaN(a) && !math.IsInf(a, 0) {
+				ages = append(ages, math.Abs(a))
+			}
+		}
+		if len(ages) == 0 {
+			return true
+		}
+		reqs, _, err := Requirements(ages)
+		if err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Strategy selects how ranking scores map to individual error rates. The
+// paper's §4 frames estimation as pluggable; Exponential is its §4.1.3
+// formula, Linear is the simplest alternative measure, included so the
+// sensitivity of downstream selection to the normalization choice can be
+// studied (the exponential map concentrates reliability in the score head,
+// the linear map spreads it evenly).
+type Strategy int
+
+const (
+	// Exponential is ε = β^(−α(s−min)/(max−min)) — the paper's §4.1.3.
+	Exponential Strategy = iota
+	// Linear is ε = 1 − (s−min)/(max−min), clamped into (0,1): the top
+	// scorer approaches 0, the bottom scorer approaches 1, linearly.
+	Linear
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Exponential:
+		return "exponential"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrorRatesWith maps scores to error rates with the chosen strategy.
+// Alpha and beta are only used by Exponential; pass the defaults otherwise.
+func ErrorRatesWith(strategy Strategy, scores []float64, alpha, beta float64) ([]float64, error) {
+	switch strategy {
+	case Exponential:
+		return ErrorRates(scores, alpha, beta)
+	case Linear:
+		return linearErrorRates(scores)
+	default:
+		return nil, fmt.Errorf("estimate: unknown strategy %d", int(strategy))
+	}
+}
+
+func linearErrorRates(scores []float64) ([]float64, error) {
+	if len(scores) == 0 {
+		return nil, ErrNoScores
+	}
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores[1:] {
+		if math.IsNaN(s) {
+			return nil, errors.New("estimate: NaN score")
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		return nil, ErrDegenerateScores
+	}
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		e := 1 - (s-lo)/(hi-lo)
+		if e <= 0 {
+			e = epsClamp
+		}
+		if e >= 1 {
+			e = 1 - epsClamp
+		}
+		out[i] = e
+	}
+	return out, nil
+}

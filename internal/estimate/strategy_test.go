@@ -1,0 +1,84 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLinearEndpoints(t *testing.T) {
+	rates, err := ErrorRatesWith(Linear, []float64{0, 0.5, 1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[2] >= 1e-9 || rates[2] <= 0 {
+		t.Errorf("top scorer ε = %g, want just above 0", rates[2])
+	}
+	if math.Abs(rates[1]-0.5) > 1e-12 {
+		t.Errorf("mid scorer ε = %g, want 0.5", rates[1])
+	}
+	if rates[0] <= 0.999 || rates[0] >= 1 {
+		t.Errorf("bottom scorer ε = %g, want just below 1", rates[0])
+	}
+}
+
+func TestLinearVsExponentialOrdering(t *testing.T) {
+	// Both strategies must preserve the score ordering; the exponential
+	// map must be at least as optimistic on the head (lower ε for the top
+	// scorer than linear's) — that is its entire purpose.
+	scores := []float64{0.1, 0.3, 0.8, 0.95}
+	lin, err := ErrorRatesWith(Linear, scores, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ErrorRatesWith(Exponential, scores, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(scores); i++ {
+		if lin[i] >= lin[i-1] || exp[i] >= exp[i-1] {
+			t.Fatalf("ordering broken: lin=%v exp=%v", lin, exp)
+		}
+	}
+	// Second-best scorer: exponential is far more optimistic.
+	if exp[2] >= lin[2] {
+		t.Errorf("exponential ε %g not below linear ε %g for a head user", exp[2], lin[2])
+	}
+}
+
+func TestErrorRatesWithValidation(t *testing.T) {
+	if _, err := ErrorRatesWith(Strategy(42), []float64{0, 1}, 10, 10); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+	if _, err := ErrorRatesWith(Linear, nil, 0, 0); !errors.Is(err, ErrNoScores) {
+		t.Error("expected ErrNoScores")
+	}
+	if _, err := ErrorRatesWith(Linear, []float64{3, 3}, 0, 0); !errors.Is(err, ErrDegenerateScores) {
+		t.Error("expected ErrDegenerateScores")
+	}
+	if _, err := ErrorRatesWith(Linear, []float64{0, math.NaN()}, 0, 0); err == nil {
+		t.Error("expected error for NaN")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Exponential.String() != "exponential" || Linear.String() != "linear" {
+		t.Error("strategy names")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unknown strategy name")
+	}
+}
+
+func TestLinearAlwaysInOpenInterval(t *testing.T) {
+	scores := []float64{-5, 0, 2.5, 1e9}
+	rates, err := ErrorRatesWith(Linear, scores, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range rates {
+		if e <= 0 || e >= 1 {
+			t.Errorf("rates[%d] = %g escaped (0,1)", i, e)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 5), plus the ablation studies listed in
+// DESIGN.md. Every driver is deterministic given Config.Seed and returns a
+// structured Result that cmd/jurybench renders and bench_test.go exercises.
+//
+// The drivers intentionally mirror the paper's workload descriptions:
+// synthetic individual error rates and requirements are drawn from
+// truncated normal distributions with the stated means and deviations, and
+// the micro-blog experiments run the full §4 pipeline (corpus → retweet
+// graph → HITS/PageRank → ε,r estimation) on the synthetic corpus described
+// in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"juryselect/internal/tablefmt"
+)
+
+// Config carries every workload parameter so benchmarks can shrink the
+// paper-scale defaults. Zero values select DefaultConfig's entries.
+type Config struct {
+	// Seed drives all synthetic randomness.
+	Seed int64
+
+	// Fig 3(a): jury-size traits on AltrM.
+	TraitN      int       // candidate pool size (paper: 1000)
+	TraitMeans  []float64 // means of ε (paper: 0.1..0.9)
+	TraitSigmas []float64 // deviation parameter of ε (paper legend: 0.1..0.3)
+
+	// Fig 3(b): AltrALG efficiency.
+	EffSizes  []int     // candidate counts (paper: 2000..6000)
+	EffSigmas []float64 // ε deviations (paper: 0.05, 0.1)
+	EffMean   float64   // ε mean (paper: 0.1)
+
+	// Fig 3(c)/(d): PayM traits.
+	BudgetN       int       // candidate pool size (paper: 1000)
+	BudgetEpsMean []float64 // ε means (paper legends m(0.3)..m(0.6))
+	Budgets       []float64 // budget sweep (paper: 0.1..0.5)
+	ReqMean       float64   // requirement mean (see DESIGN.md §5)
+	ReqSigma      float64   // requirement deviation
+
+	// Fig 3(e)/(f): APPX vs OPT on PayM.
+	OptN        int       // candidate pool (paper: 22)
+	OptBudgets  []float64 // budgets (figures: 0.5..1.5 step 0.1)
+	OptEpsMean  float64   // ε mean (paper: 0.2)
+	OptEpsSigma float64   // ε deviation (paper: 0.05)
+	OptReqMean  float64   // requirement mean (paper: 0.05)
+	OptReqSigma float64   // requirement deviation (paper: 0.2)
+
+	// Fig 3(g)/(h)/(i): micro-blog pipeline.
+	TwitterUsers       int       // corpus population (scaled stand-in for 689,050)
+	TwitterTweets      int       // corpus size
+	TwitterPool        int       // ranked pool retained (paper: 5000)
+	TwitterTopNs       []int     // fig 3(g) candidate sweep (paper: 1000..5000)
+	TwitterCandidates  int       // fig 3(h)/(i) candidate count (paper: 20)
+	TwitterBudgetFracs []float64 // fig 3(h) budget fractions of M (paper: 0.1%..20%)
+	TwitterSizeBudgets []float64 // fig 3(i) absolute budgets
+
+	// Ablations.
+	AblationJERSizes []int // jury sizes for the DP/CBA crossover
+	MonteCarloTrials int   // voting-simulation sample size
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		TraitN:      1000,
+		TraitMeans:  sweep(0.1, 0.9, 0.05),
+		TraitSigmas: []float64{0.1, 0.2, 0.3},
+
+		EffSizes:  []int{2000, 3000, 4000, 5000, 6000},
+		EffSigmas: []float64{0.05, 0.1},
+		EffMean:   0.1,
+
+		BudgetN:       1000,
+		BudgetEpsMean: []float64{0.3, 0.4, 0.5, 0.6},
+		Budgets:       sweep(0.1, 0.5, 0.1),
+		ReqMean:       0.5,
+		ReqSigma:      0.2,
+
+		OptN:        22,
+		OptBudgets:  sweep(0.5, 1.5, 0.1),
+		OptEpsMean:  0.2,
+		OptEpsSigma: 0.05,
+		OptReqMean:  0.05,
+		OptReqSigma: 0.2,
+
+		TwitterUsers:       20000,
+		TwitterTweets:      120000,
+		TwitterPool:        5000,
+		TwitterTopNs:       []int{1000, 2000, 3000, 4000, 5000},
+		TwitterCandidates:  20,
+		TwitterBudgetFracs: []float64{0.001, 0.01, 0.1, 0.2},
+		TwitterSizeBudgets: sweep(0.1, 1.0, 0.1),
+
+		AblationJERSizes: []int{63, 255, 1023, 4095},
+		MonteCarloTrials: 200000,
+	}
+}
+
+// QuickConfig returns a shrunk configuration for benchmarks and CI: the
+// same sweeps with small candidate pools, so every driver finishes in
+// fractions of a second while still exercising identical code paths.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TraitN = 150
+	cfg.TraitMeans = sweep(0.1, 0.9, 0.1)
+	cfg.TraitSigmas = []float64{0.1, 0.3}
+	cfg.EffSizes = []int{200, 400}
+	cfg.EffSigmas = []float64{0.1}
+	cfg.BudgetN = 200
+	cfg.OptN = 14
+	cfg.OptBudgets = sweep(0.5, 1.5, 0.25)
+	cfg.TwitterUsers = 2000
+	cfg.TwitterTweets = 10000
+	cfg.TwitterPool = 500
+	cfg.TwitterTopNs = []int{200, 500}
+	cfg.TwitterCandidates = 12
+	cfg.AblationJERSizes = []int{63, 255}
+	cfg.MonteCarloTrials = 20000
+	return cfg
+}
+
+// withDefaults back-fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.TraitN == 0 {
+		c.TraitN = d.TraitN
+	}
+	if len(c.TraitMeans) == 0 {
+		c.TraitMeans = d.TraitMeans
+	}
+	if len(c.TraitSigmas) == 0 {
+		c.TraitSigmas = d.TraitSigmas
+	}
+	if len(c.EffSizes) == 0 {
+		c.EffSizes = d.EffSizes
+	}
+	if len(c.EffSigmas) == 0 {
+		c.EffSigmas = d.EffSigmas
+	}
+	if c.EffMean == 0 {
+		c.EffMean = d.EffMean
+	}
+	if c.BudgetN == 0 {
+		c.BudgetN = d.BudgetN
+	}
+	if len(c.BudgetEpsMean) == 0 {
+		c.BudgetEpsMean = d.BudgetEpsMean
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = d.Budgets
+	}
+	if c.ReqMean == 0 {
+		c.ReqMean = d.ReqMean
+	}
+	if c.ReqSigma == 0 {
+		c.ReqSigma = d.ReqSigma
+	}
+	if c.OptN == 0 {
+		c.OptN = d.OptN
+	}
+	if len(c.OptBudgets) == 0 {
+		c.OptBudgets = d.OptBudgets
+	}
+	if c.OptEpsMean == 0 {
+		c.OptEpsMean = d.OptEpsMean
+	}
+	if c.OptEpsSigma == 0 {
+		c.OptEpsSigma = d.OptEpsSigma
+	}
+	if c.OptReqMean == 0 {
+		c.OptReqMean = d.OptReqMean
+	}
+	if c.OptReqSigma == 0 {
+		c.OptReqSigma = d.OptReqSigma
+	}
+	if c.TwitterUsers == 0 {
+		c.TwitterUsers = d.TwitterUsers
+	}
+	if c.TwitterTweets == 0 {
+		c.TwitterTweets = d.TwitterTweets
+	}
+	if c.TwitterPool == 0 {
+		c.TwitterPool = d.TwitterPool
+	}
+	if len(c.TwitterTopNs) == 0 {
+		c.TwitterTopNs = d.TwitterTopNs
+	}
+	if c.TwitterCandidates == 0 {
+		c.TwitterCandidates = d.TwitterCandidates
+	}
+	if len(c.TwitterBudgetFracs) == 0 {
+		c.TwitterBudgetFracs = d.TwitterBudgetFracs
+	}
+	if len(c.TwitterSizeBudgets) == 0 {
+		c.TwitterSizeBudgets = d.TwitterSizeBudgets
+	}
+	if len(c.AblationJERSizes) == 0 {
+		c.AblationJERSizes = d.AblationJERSizes
+	}
+	if c.MonteCarloTrials == 0 {
+		c.MonteCarloTrials = d.MonteCarloTrials
+	}
+	return c
+}
+
+// sweep returns lo, lo+step, ..., up to and including hi (within rounding).
+func sweep(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+step/2; x += step {
+		out = append(out, round4(x))
+	}
+	return out
+}
+
+func round4(x float64) float64 {
+	return float64(int64(x*10000+0.5)) / 10000
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is the structured outcome of one experiment driver.
+type Result struct {
+	// ID matches the experiment index of DESIGN.md (e.g. "fig3a").
+	ID string
+	// Title is the paper artifact reproduced.
+	Title string
+	// Series holds the figure curves, if the artifact is a figure.
+	Series []Series
+	// Table holds the rendered rows, mirroring what the paper reports.
+	Table *tablefmt.Table
+	// Notes records observations (e.g. paper-vs-measured commentary).
+	Notes []string
+	// Elapsed is the driver's wall-clock runtime.
+	Elapsed time.Duration
+}
+
+// Driver runs one experiment.
+type Driver func(cfg Config) (*Result, error)
+
+// registry maps experiment IDs to drivers, populated in each driver file.
+var registry = map[string]Driver{}
+
+func register(id string, d Driver) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate driver " + id)
+	}
+	registry[id] = d
+}
+
+// List returns all registered experiment IDs, sorted.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the driver registered under id.
+func Run(id string, cfg Config) (*Result, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, List())
+	}
+	start := time.Now()
+	res, err := d(cfg.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

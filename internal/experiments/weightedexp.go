@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"juryselect/internal/jer"
+	"juryselect/internal/randx"
+	"juryselect/internal/tablefmt"
+	"juryselect/internal/voting"
+)
+
+func init() {
+	register("ablation-wmv", runAblationWMV)
+}
+
+// runAblationWMV measures how much accuracy the paper's plain Majority
+// Voting leaves on the table relative to ε-weighted (Bayes-optimal)
+// aggregation. The workload is a 15-member jury mixing e experts (ε = 0.1)
+// with 15-e mediocre members (ε = 0.45): with few experts, plain majority
+// is dominated by the mediocre majority while the weighted rule lets the
+// experts' log-odds weight (log 9 ≈ 2.2 vs log(0.55/0.45) ≈ 0.2) carry the
+// decision. A homogeneous control row shows the gap vanishing when
+// weights degenerate to equality.
+func runAblationWMV(cfg Config) (*Result, error) {
+	src := randx.New(cfg.Seed).Split("ablation-wmv")
+	tb := tablefmt.New("Ablation: plain vs weighted majority voting (15-member juries)",
+		"experts", "analytic JER (MV)", "simulated MV", "simulated WMV", "gap")
+	const (
+		tasks    = 200000
+		jurySize = 15
+		expertE  = 0.10
+		mediumE  = 0.45
+	)
+	var series Series
+	series.Name = "WMV-gap"
+	for _, experts := range []int{0, 1, 3, 5, 7} {
+		rates := make([]float64, jurySize)
+		for i := range rates {
+			if i < experts {
+				rates[i] = expertE
+			} else {
+				rates[i] = mediumE
+			}
+		}
+		analytic, err := jer.Compute(rates, jer.Auto)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := voting.NewSimulator(src.Split(fmt.Sprintf("plain%d", experts))).Run(rates, tasks)
+		if err != nil {
+			return nil, err
+		}
+		weighted, err := voting.NewSimulator(src.Split(fmt.Sprintf("wmv%d", experts))).RunWeighted(rates, tasks)
+		if err != nil {
+			return nil, err
+		}
+		gap := plain.ErrorRate() - weighted.ErrorRate()
+		slack := 4*math.Sqrt(analytic*(1-analytic)/tasks) + 1e-3
+		if weighted.ErrorRate() > plain.ErrorRate()+slack {
+			return nil, fmt.Errorf("weighted aggregation worse than plain with %d experts: %g vs %g",
+				experts, weighted.ErrorRate(), plain.ErrorRate())
+		}
+		series.Points = append(series.Points, Point{X: float64(experts), Y: gap})
+		tb.AddRow(experts, analytic, plain.ErrorRate(), weighted.ErrorRate(), gap)
+	}
+	return &Result{
+		ID:     "ablation-wmv",
+		Title:  "Ablation — value of ε-aware aggregation over plain Majority Voting",
+		Series: []Series{series},
+		Table:  tb,
+		Notes: []string{
+			"Weighted majority (Nitzan–Paroush log-odds weights) is Bayes-optimal for",
+			"independent votes; the paper aggregates with plain majority only. The gap",
+			"peaks when a few experts sit inside a mediocre crowd and vanishes for",
+			"homogeneous juries (experts = 0) where the weights are equal.",
+		},
+	}, nil
+}

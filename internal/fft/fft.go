@@ -1,0 +1,167 @@
+// Package fft implements the fast Fourier transform and the polynomial
+// (probability-vector) convolutions that back the paper's Convolution-Based
+// Algorithm (CBA, Algorithm 2) for computing the Jury Error Rate.
+//
+// The package offers three entry points:
+//
+//   - Transform / Inverse: radix-2 iterative complex FFT.
+//   - ConvolveNaive: O(len(a)·len(b)) schoolbook convolution.
+//   - Convolve: size-adaptive convolution that uses the schoolbook method
+//     below a crossover and the FFT method above it.
+//
+// The convolutions operate on non-negative real vectors (probability mass
+// functions of wrong-vote counts); Convolve clamps tiny negative values that
+// arise from floating-point round-off back to zero so downstream code can
+// rely on PMF non-negativity.
+package fft
+
+import "math"
+
+// convolveCrossover is the total output length above which FFT convolution
+// beats the schoolbook method. Determined empirically on amd64; correctness
+// does not depend on the exact value.
+const convolveCrossover = 128
+
+// Transform computes the in-place forward FFT of a. The length of a must be
+// a power of two; Transform panics otherwise.
+func Transform(a []complex128) { fftInPlace(a, false) }
+
+// Inverse computes the in-place inverse FFT of a, including the 1/n scaling.
+// The length of a must be a power of two; Inverse panics otherwise.
+func Inverse(a []complex128) {
+	fftInPlace(a, true)
+	n := complex(float64(len(a)), 0)
+	for i := range a {
+		a[i] /= n
+	}
+}
+
+func fftInPlace(a []complex128, invert bool) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("fft: length is not a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := 2 * math.Pi / float64(length)
+		if invert {
+			angle = -angle
+		}
+		wl := complex(math.Cos(angle), math.Sin(angle))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ConvolveNaive returns the linear convolution of a and b using the
+// schoolbook O(len(a)·len(b)) algorithm. The result has length
+// len(a)+len(b)-1. Either input being empty yields nil.
+func ConvolveNaive(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// ConvolveFFT returns the linear convolution of a and b computed through the
+// complex FFT. The result has length len(a)+len(b)-1. Either input being
+// empty yields nil.
+func ConvolveFFT(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := nextPow2(outLen)
+	// Pack both real sequences into one complex buffer: fa = a + i·b.
+	// One forward transform then yields the spectra of both via symmetry,
+	// halving the transform count relative to the textbook formulation.
+	buf := make([]complex128, n)
+	for i, v := range a {
+		buf[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		buf[i] += complex(0, v)
+	}
+	Transform(buf)
+	// With F = FFT(a + i·b): A[k] = (F[k] + conj(F[n-k]))/2,
+	// B[k] = (F[k] - conj(F[n-k]))/(2i). Multiply spectra pointwise.
+	prod := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		km := (n - k) & (n - 1)
+		fk := buf[k]
+		fkm := cconj(buf[km])
+		ak := (fk + fkm) / 2
+		bk := (fk - fkm) / complex(0, 2)
+		prod[k] = ak * bk
+	}
+	Inverse(prod)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(prod[i])
+	}
+	return out
+}
+
+func cconj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// Convolve returns the linear convolution of a and b, choosing between the
+// schoolbook and FFT algorithms by size. Outputs are clamped to be
+// non-negative: inputs are probability vectors, so any negative value is
+// floating-point noise from the FFT path.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var out []float64
+	if len(a)+len(b)-1 < convolveCrossover || len(a) < 8 || len(b) < 8 {
+		out = ConvolveNaive(a, b)
+	} else {
+		out = ConvolveFFT(a, b)
+		for i, v := range out {
+			if v < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}

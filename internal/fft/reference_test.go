@@ -1,0 +1,93 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// dftDirect computes the DFT by the O(n²) definition, as an independent
+// reference for the FFT.
+func dftDirect(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += a[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func TestTransformMatchesDirectDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		want := dftDirect(a)
+		got := make([]complex128, n)
+		copy(got, a)
+		Transform(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d k=%d: fft %v vs dft %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestParsevalIdentity: energy is preserved up to the 1/n convention,
+// Σ|x|² = (1/n)Σ|X|².
+func TestParsevalIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	n := 512
+	a := make([]complex128, n)
+	timeEnergy := 0.0
+	for i := range a {
+		a[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		timeEnergy += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	Transform(a)
+	freqEnergy := 0.0
+	for _, v := range a {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Fatalf("Parseval violated: time %.10f vs freq %.10f", timeEnergy, freqEnergy)
+	}
+}
+
+// TestLinearityOfTransform: FFT(αx + βy) = αFFT(x) + βFFT(y).
+func TestLinearityOfTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 128
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+		y[i] = complex(rng.Float64(), rng.Float64())
+	}
+	alpha, beta := complex(2.5, -1), complex(-0.5, 3)
+	combined := make([]complex128, n)
+	for i := range combined {
+		combined[i] = alpha*x[i] + beta*y[i]
+	}
+	Transform(combined)
+	fx := append([]complex128(nil), x...)
+	fy := append([]complex128(nil), y...)
+	Transform(fx)
+	Transform(fy)
+	for k := 0; k < n; k++ {
+		want := alpha*fx[k] + beta*fy[k]
+		if cmplx.Abs(combined[k]-want) > 1e-8 {
+			t.Fatalf("k=%d: %v vs %v", k, combined[k], want)
+		}
+	}
+}

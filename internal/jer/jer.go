@@ -1,0 +1,310 @@
+// Package jer computes the Jury Error Rate (JER) of Definition 6 in the
+// paper: the probability that, under Majority Voting, at least half of a
+// jury votes against the latent truth,
+//
+//	JER(J_n) = Pr(C ≥ (n+1)/2),
+//
+// where C is the Poisson–Binomial count of wrong voters with parameters
+// ε_1,…,ε_n (the individual error rates).
+//
+// Four evaluators are provided, mirroring Section 3.1:
+//
+//   - Enum: the naive O(2^n) enumeration of all "Minorities" (the baseline
+//     the paper rejects; retained as ground truth for tests).
+//   - DP: the dynamic-programming method of Algorithm 1 — O(n²) time,
+//     O(n) space.
+//   - CBA: the Convolution-Based Algorithm of Algorithm 2 — divide and
+//     conquer with FFT merging.
+//   - MonteCarlo: a simulation estimator (not in the paper; extension used
+//     to validate the analytic values empirically).
+//
+// LowerBound implements the Paley–Zygmund pruning bound of Lemma 2.
+package jer
+
+import (
+	"errors"
+	"fmt"
+
+	"juryselect/internal/fft"
+	"juryselect/internal/pbdist"
+	"juryselect/internal/randx"
+)
+
+// ErrEmptyJury reports a JER request for zero jurors.
+var ErrEmptyJury = errors.New("jer: empty jury")
+
+// FailThreshold returns the minimum number of wrong voters that makes the
+// jury fail: ceil((n+1)/2). For the odd sizes the paper assumes this is
+// exactly (n+1)/2; for even sizes a tie cannot produce a wrong majority, so
+// failure still requires a strict wrong majority.
+func FailThreshold(n int) int { return (n + 2) / 2 }
+
+// Algorithm selects the JER evaluation strategy.
+type Algorithm int
+
+const (
+	// Auto picks DP below a size crossover and CBA above it.
+	Auto Algorithm = iota
+	// DPAlgo is Algorithm 1 (dynamic programming).
+	DPAlgo
+	// CBAAlgo is Algorithm 2 (divide & conquer convolution).
+	CBAAlgo
+	// EnumAlgo is the naive exponential enumeration; only valid for n ≤ 25.
+	EnumAlgo
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case DPAlgo:
+		return "dp"
+	case CBAAlgo:
+		return "cba"
+	case EnumAlgo:
+		return "enum"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// autoCrossover is the jury size above which Auto switches from DP to CBA.
+// DP is O(n²) with a tiny constant; CBA wins for large juries.
+const autoCrossover = 512
+
+// Compute evaluates JER(rates) with the chosen algorithm.
+func Compute(rates []float64, algo Algorithm) (float64, error) {
+	n := len(rates)
+	if n == 0 {
+		return 0, ErrEmptyJury
+	}
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return 0, err
+	}
+	switch algo {
+	case Auto:
+		if n <= autoCrossover {
+			return dp(rates), nil
+		}
+		return cba(rates), nil
+	case DPAlgo:
+		return dp(rates), nil
+	case CBAAlgo:
+		return cba(rates), nil
+	case EnumAlgo:
+		return pbdist.TailEnum(rates, FailThreshold(n))
+	default:
+		return 0, fmt.Errorf("jer: unknown algorithm %d", int(algo))
+	}
+}
+
+// DP evaluates JER with Algorithm 1. It validates input.
+func DP(rates []float64) (float64, error) { return Compute(rates, DPAlgo) }
+
+// CBA evaluates JER with Algorithm 2. It validates input.
+func CBA(rates []float64) (float64, error) { return Compute(rates, CBAAlgo) }
+
+// Enum evaluates JER by exhaustive minority enumeration (n ≤ 25).
+func Enum(rates []float64) (float64, error) { return Compute(rates, EnumAlgo) }
+
+// dp implements Algorithm 1: the recurrence of Lemma 1,
+//
+//	Pr(C ≥ L | J_m) = Pr(C ≥ L-1 | J_{m-1})·ε_m + Pr(C ≥ L | J_{m-1})·(1-ε_m)
+//
+// evaluated bottom-up over L = 1..(n+1)/2 with two rolling vectors, giving
+// O(n²) time and O(n) space exactly as Corollary 1 states.
+func dp(rates []float64) float64 {
+	n := len(rates)
+	threshold := FailThreshold(n)
+	// prev[m] = Pr(C ≥ L-1 | J_m); cur[m] = Pr(C ≥ L | J_m), m = 0..n.
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for m := range prev {
+		prev[m] = 1 // Pr(C ≥ 0 | J_m) = 1
+	}
+	for L := 1; L <= threshold; L++ {
+		// Pr(C ≥ L | J_m) = 0 for m < L.
+		for m := 0; m < L && m <= n; m++ {
+			cur[m] = 0
+		}
+		for m := L; m <= n; m++ {
+			e := rates[m-1]
+			cur[m] = prev[m-1]*e + cur[m-1]*(1-e)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// cba implements Algorithm 2: split the jury in half, recursively obtain the
+// distribution of wrong-vote counts D_C for each half, and merge by
+// polynomial multiplication (convolution, FFT-accelerated for large blocks).
+// The JER is the upper tail of the merged distribution.
+func cba(rates []float64) float64 {
+	dist := Distribution(rates)
+	return tailSum(dist, FailThreshold(len(rates)))
+}
+
+// Distribution returns the exact PMF of the number of wrong voters using
+// the divide-and-conquer convolution of Algorithm 2. The result has length
+// len(rates)+1; entry k is Pr(C = k). Rates must be valid; callers that
+// accept external input should use Compute which validates.
+func Distribution(rates []float64) []float64 {
+	n := len(rates)
+	if n == 0 {
+		return []float64{1}
+	}
+	if n == 1 {
+		// Lines 2–4 of Algorithm 2.
+		return []float64{1 - rates[0], rates[0]}
+	}
+	// Lines 6–9: split, recurse, merge by convolution.
+	mid := n / 2
+	left := Distribution(rates[:mid])
+	right := Distribution(rates[mid:])
+	return fft.Convolve(left, right)
+}
+
+func tailSum(pmf []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k >= len(pmf) {
+		return 0
+	}
+	tail := 0.0
+	if len(pmf)-k <= k {
+		for i := k; i < len(pmf); i++ {
+			tail += pmf[i]
+		}
+	} else {
+		head := 0.0
+		for i := 0; i < k; i++ {
+			head += pmf[i]
+		}
+		tail = 1 - head
+	}
+	if tail < 0 {
+		return 0
+	}
+	if tail > 1 {
+		return 1
+	}
+	return tail
+}
+
+// LowerBound computes the Paley–Zygmund lower bound of Lemma 2:
+//
+//	JER(J_n) ≥ (1-γ)²μ² / ((1-γ)²μ² + σ²),  γ = ((n+1)/2)/μ,
+//
+// with μ = Σε_i and σ² = Σε_i(1-ε_i). The bound is only valid when
+// γ ∈ (0,1), i.e. when the expected number of wrong voters already exceeds
+// the failure threshold; usable reports whether that held. When usable is
+// false the caller must fall back to an exact evaluation, exactly as
+// Algorithm 3 does on its γ ≥ 1 branch.
+func LowerBound(rates []float64) (bound float64, usable bool) {
+	n := len(rates)
+	if n == 0 {
+		return 0, false
+	}
+	mu, sigma2 := 0.0, 0.0
+	for _, e := range rates {
+		mu += e
+		sigma2 += e * (1 - e)
+	}
+	return LowerBoundMoments(n, mu, sigma2)
+}
+
+// LowerBoundMoments is LowerBound when μ and σ² are already known, e.g.
+// maintained incrementally during a prefix sweep. It costs O(1).
+func LowerBoundMoments(n int, mu, sigma2 float64) (bound float64, usable bool) {
+	if n == 0 || mu <= 0 {
+		return 0, false
+	}
+	gamma := float64(FailThreshold(n)) / mu
+	if gamma <= 0 || gamma >= 1 {
+		return 0, false
+	}
+	t := (1 - gamma) * mu
+	t2 := t * t
+	return t2 / (t2 + sigma2), true
+}
+
+// MonteCarlo estimates JER by simulating trials independent votings: each
+// juror votes wrongly with probability ε_i and the voting fails when the
+// wrong count reaches the failure threshold. The estimator is unbiased with
+// standard error ≤ 1/(2√trials). Extension beyond the paper, used to
+// validate the analytic evaluators against simulated crowd behaviour.
+func MonteCarlo(rates []float64, trials int, src *randx.Source) (float64, error) {
+	if len(rates) == 0 {
+		return 0, ErrEmptyJury
+	}
+	if trials <= 0 {
+		return 0, errors.New("jer: MonteCarlo requires trials > 0")
+	}
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return 0, err
+	}
+	threshold := FailThreshold(len(rates))
+	fails := 0
+	for t := 0; t < trials; t++ {
+		wrong := 0
+		for _, e := range rates {
+			if src.Bernoulli(e) {
+				wrong++
+				if wrong >= threshold {
+					break // outcome decided; skip remaining jurors
+				}
+			}
+		}
+		if wrong >= threshold {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials), nil
+}
+
+// Sweep incrementally evaluates JER over growing prefixes of a juror
+// ordering. Each Extend costs O(m) where m is the current prefix length, so
+// sweeping all prefixes of N jurors costs O(N²) total — asymptotically the
+// same as a single DP evaluation of the full set, versus O(ΣN n log n) for
+// re-running CBA at every size as Algorithm 3 does literally. This is the
+// "incremental sweep" ablation of DESIGN.md.
+type Sweep struct {
+	dist   pbdist.Dist
+	mu     float64
+	sigma2 float64
+}
+
+// NewSweep returns an empty sweep.
+func NewSweep() *Sweep { return &Sweep{} }
+
+// Extend appends one juror with the given error rate.
+func (s *Sweep) Extend(rate float64) error {
+	if err := s.dist.Append(rate); err != nil {
+		return err
+	}
+	s.mu += rate
+	s.sigma2 += rate * (1 - rate)
+	return nil
+}
+
+// N returns the current prefix length.
+func (s *Sweep) N() int { return s.dist.N() }
+
+// JER returns the Jury Error Rate of the current prefix. It costs O(n) in
+// the prefix length (a tail sum over the maintained distribution).
+func (s *Sweep) JER() (float64, error) {
+	n := s.dist.N()
+	if n == 0 {
+		return 0, ErrEmptyJury
+	}
+	return s.dist.TailAtLeast(FailThreshold(n)), nil
+}
+
+// LowerBound returns the Lemma 2 bound for the current prefix in O(1),
+// using incrementally maintained moments.
+func (s *Sweep) LowerBound() (bound float64, usable bool) {
+	return LowerBoundMoments(s.dist.N(), s.mu, s.sigma2)
+}

@@ -1,0 +1,272 @@
+// Package learn estimates individual error rates from observed voting
+// history, complementing the graph-based estimation of Section 4.
+//
+// The paper's framework treats ε_i as pluggable ("In fact, any other
+// reasonable measures can be smoothly plugged in to our framework", §4)
+// and cites Raykar et al., "Learning from crowds" (JMLR 2010) [25] and
+// Ipeirotis et al. [13] for estimating worker quality from answers. This
+// package provides the two standard estimators for the paper's binary
+// symmetric-error model:
+//
+//   - FromGold: maximum-likelihood counting against tasks whose ground
+//     truth is known (calibration questions).
+//   - EM: expectation–maximization over tasks with *unknown* truth — the
+//     binary symmetric special case of Dawid–Skene, with majority-voting
+//     initialization.
+//
+// Both return error rates directly usable as core.Juror.ErrorRate, closing
+// the loop: past votings calibrate the crowd, jury selection then picks
+// the best jury for the next task.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vote is one juror's recorded opinion on one task.
+type Vote int8
+
+const (
+	// Abstain marks a missing observation (juror not asked / no reply).
+	Abstain Vote = -1
+	// VoteNo is a negative opinion.
+	VoteNo Vote = 0
+	// VoteYes is a positive opinion.
+	VoteYes Vote = 1
+)
+
+// History is a tasks × jurors matrix of recorded votes. Row t holds the
+// votes on task t; entry (t, i) is juror i's vote or Abstain.
+type History struct {
+	votes  [][]Vote
+	jurors int
+}
+
+// NewHistory returns an empty history for the given number of jurors.
+func NewHistory(jurors int) (*History, error) {
+	if jurors <= 0 {
+		return nil, errors.New("learn: history needs at least one juror")
+	}
+	return &History{jurors: jurors}, nil
+}
+
+// Jurors returns the number of jurors tracked.
+func (h *History) Jurors() int { return h.jurors }
+
+// Tasks returns the number of recorded tasks.
+func (h *History) Tasks() int { return len(h.votes) }
+
+// Add records one task's votes. The slice must have one entry per juror;
+// entries other than Abstain, VoteNo, VoteYes are rejected. At least one
+// juror must have voted.
+func (h *History) Add(votes []Vote) error {
+	if len(votes) != h.jurors {
+		return fmt.Errorf("learn: got %d votes, history tracks %d jurors", len(votes), h.jurors)
+	}
+	seen := false
+	for i, v := range votes {
+		switch v {
+		case Abstain:
+		case VoteNo, VoteYes:
+			seen = true
+		default:
+			return fmt.Errorf("learn: juror %d: invalid vote %d", i, v)
+		}
+	}
+	if !seen {
+		return errors.New("learn: task with no votes")
+	}
+	row := make([]Vote, len(votes))
+	copy(row, votes)
+	h.votes = append(h.votes, row)
+	return nil
+}
+
+// epsFloor keeps estimates strictly inside (0,1), as Definition 4 requires
+// and as the EM update needs to avoid absorbing states.
+const epsFloor = 1e-6
+
+func clampRate(e float64) float64 {
+	if e < epsFloor {
+		return epsFloor
+	}
+	if e > 1-epsFloor {
+		return 1 - epsFloor
+	}
+	return e
+}
+
+// FromGold estimates ε_i by counting disagreements with known truths:
+// ε̂_i = (wrong_i + 1) / (answered_i + 2) with add-one (Laplace) smoothing,
+// so jurors with sparse history aren't pinned to 0 or 1. truths must have
+// one entry per task, each VoteNo or VoteYes.
+func FromGold(h *History, truths []Vote) ([]float64, error) {
+	if h.Tasks() == 0 {
+		return nil, errors.New("learn: empty history")
+	}
+	if len(truths) != h.Tasks() {
+		return nil, fmt.Errorf("learn: %d truths for %d tasks", len(truths), h.Tasks())
+	}
+	for t, tr := range truths {
+		if tr != VoteNo && tr != VoteYes {
+			return nil, fmt.Errorf("learn: task %d: truth must be VoteNo or VoteYes", t)
+		}
+	}
+	wrong := make([]float64, h.jurors)
+	answered := make([]float64, h.jurors)
+	for t, row := range h.votes {
+		for i, v := range row {
+			if v == Abstain {
+				continue
+			}
+			answered[i]++
+			if v != truths[t] {
+				wrong[i]++
+			}
+		}
+	}
+	rates := make([]float64, h.jurors)
+	for i := range rates {
+		rates[i] = clampRate((wrong[i] + 1) / (answered[i] + 2))
+	}
+	return rates, nil
+}
+
+// EMOptions configures the EM estimator.
+type EMOptions struct {
+	// MaxIterations caps EM rounds; zero selects 100.
+	MaxIterations int
+	// Tolerance stops iteration when the log-likelihood improves by less;
+	// zero selects 1e-9.
+	Tolerance float64
+}
+
+// EMResult is the output of the EM estimator.
+type EMResult struct {
+	// ErrorRates are the estimated ε_i, in (0,1).
+	ErrorRates []float64
+	// Posteriors[t] is the posterior probability that task t's latent
+	// truth is Yes.
+	Posteriors []float64
+	// Prior is the estimated marginal probability of a Yes truth.
+	Prior float64
+	// Iterations is the number of EM rounds performed.
+	Iterations int
+	// LogLikelihood is the final observed-data log-likelihood.
+	LogLikelihood float64
+}
+
+// EM estimates error rates from history alone, without ground truth: the
+// binary symmetric-error Dawid–Skene model. Latent truths are initialized
+// from per-task majority votes, which anchors the label-switching symmetry
+// (the mirrored solution ε → 1-ε has equal likelihood) to the convention
+// that the crowd is better than chance on average.
+//
+// The observed-data log-likelihood is non-decreasing across iterations (a
+// property the tests assert); convergence is declared when its improvement
+// falls below Tolerance.
+func EM(h *History, opts EMOptions) (*EMResult, error) {
+	if h.Tasks() == 0 {
+		return nil, errors.New("learn: empty history")
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-9
+	}
+
+	tasks, jurors := h.Tasks(), h.jurors
+	post := make([]float64, tasks) // q_t = P(z_t = Yes | votes)
+	// Initialization: soft majority vote per task.
+	for t, row := range h.votes {
+		yes, total := 0, 0
+		for _, v := range row {
+			switch v {
+			case VoteYes:
+				yes++
+				total++
+			case VoteNo:
+				total++
+			}
+		}
+		// Soften toward 1/2 so unanimous tasks don't start at the clamp.
+		post[t] = (float64(yes) + 0.5) / (float64(total) + 1)
+	}
+
+	rates := make([]float64, jurors)
+	prior := 0.5
+	ll := math.Inf(-1)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// M-step: ε_i = Σ_t P(juror i disagreed with the truth) / answered_i,
+		// with Laplace smoothing; prior = mean posterior.
+		for i := 0; i < jurors; i++ {
+			wrong, answered := 0.0, 0.0
+			for t, row := range h.votes {
+				v := row[i]
+				if v == Abstain {
+					continue
+				}
+				answered++
+				if v == VoteYes {
+					wrong += 1 - post[t] // wrong iff truth was No
+				} else {
+					wrong += post[t]
+				}
+			}
+			if answered == 0 {
+				rates[i] = 0.5 // never voted: uninformative
+				continue
+			}
+			rates[i] = clampRate((wrong + 1) / (answered + 2))
+		}
+		sum := 0.0
+		for _, q := range post {
+			sum += q
+		}
+		prior = clampRate(sum / float64(tasks))
+
+		// E-step: recompute posteriors, accumulating the log-likelihood
+		// log P(votes_t) = log(πA_t + (1-π)B_t) in log space for stability.
+		newLL := 0.0
+		for t, row := range h.votes {
+			logYes := math.Log(prior)
+			logNo := math.Log(1 - prior)
+			for i, v := range row {
+				if v == Abstain {
+					continue
+				}
+				e := rates[i]
+				if v == VoteYes {
+					logYes += math.Log(1 - e)
+					logNo += math.Log(e)
+				} else {
+					logYes += math.Log(e)
+					logNo += math.Log(1 - e)
+				}
+			}
+			m := math.Max(logYes, logNo)
+			denom := m + math.Log(math.Exp(logYes-m)+math.Exp(logNo-m))
+			post[t] = math.Exp(logYes - denom)
+			newLL += denom
+		}
+		if newLL-ll < tol && iter > 0 {
+			ll = newLL
+			iter++
+			break
+		}
+		ll = newLL
+	}
+	return &EMResult{
+		ErrorRates:    rates,
+		Posteriors:    post,
+		Prior:         prior,
+		Iterations:    iter,
+		LogLikelihood: ll,
+	}, nil
+}

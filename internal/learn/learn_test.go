@@ -1,0 +1,292 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"juryselect/internal/randx"
+)
+
+// synthHistory simulates a voting history: jurors with true error rates eps
+// vote on `tasks` binary tasks with alternating truths; each juror abstains
+// with probability abstain. Returns the history and the truth vector.
+func synthHistory(t *testing.T, eps []float64, tasks int, abstain float64, seed int64) (*History, []Vote) {
+	t.Helper()
+	src := randx.New(seed)
+	h, err := NewHistory(len(eps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths := make([]Vote, 0, tasks)
+	for task := 0; task < tasks; task++ {
+		truth := VoteYes
+		if task%2 == 1 {
+			truth = VoteNo
+		}
+		row := make([]Vote, len(eps))
+		voted := false
+		for i, e := range eps {
+			if src.Bernoulli(abstain) {
+				row[i] = Abstain
+				continue
+			}
+			voted = true
+			if src.Bernoulli(e) {
+				// wrong vote
+				if truth == VoteYes {
+					row[i] = VoteNo
+				} else {
+					row[i] = VoteYes
+				}
+			} else {
+				row[i] = truth
+			}
+		}
+		if !voted {
+			row[0] = truth // guarantee at least one vote per task
+		}
+		if err := h.Add(row); err != nil {
+			t.Fatal(err)
+		}
+		truths = append(truths, truth)
+	}
+	return h, truths
+}
+
+func TestHistoryValidation(t *testing.T) {
+	if _, err := NewHistory(0); err == nil {
+		t.Error("expected error for zero jurors")
+	}
+	h, err := NewHistory(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add([]Vote{VoteYes, VoteNo}); err == nil {
+		t.Error("expected error for wrong vote count")
+	}
+	if err := h.Add([]Vote{VoteYes, 7, VoteNo}); err == nil {
+		t.Error("expected error for invalid vote value")
+	}
+	if err := h.Add([]Vote{Abstain, Abstain, Abstain}); err == nil {
+		t.Error("expected error for all-abstain task")
+	}
+	if err := h.Add([]Vote{VoteYes, Abstain, VoteNo}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if h.Tasks() != 1 || h.Jurors() != 3 {
+		t.Errorf("counts: tasks=%d jurors=%d", h.Tasks(), h.Jurors())
+	}
+}
+
+func TestHistoryAddCopiesRow(t *testing.T) {
+	h, _ := NewHistory(2)
+	row := []Vote{VoteYes, VoteNo}
+	if err := h.Add(row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = VoteNo
+	if h.votes[0][0] != VoteYes {
+		t.Fatal("Add aliased the caller's slice")
+	}
+}
+
+func TestFromGoldRecoversRates(t *testing.T) {
+	eps := []float64{0.05, 0.2, 0.35, 0.5}
+	h, truths := synthHistory(t, eps, 4000, 0, 1)
+	got, err := FromGold(h, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range eps {
+		if math.Abs(got[i]-want) > 0.03 {
+			t.Errorf("juror %d: ε̂ = %.3f, want ≈ %.3f", i, got[i], want)
+		}
+	}
+}
+
+func TestFromGoldWithAbstentions(t *testing.T) {
+	eps := []float64{0.1, 0.3}
+	h, truths := synthHistory(t, eps, 6000, 0.5, 2)
+	got, err := FromGold(h, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range eps {
+		if math.Abs(got[i]-want) > 0.04 {
+			t.Errorf("juror %d: ε̂ = %.3f, want ≈ %.3f", i, got[i], want)
+		}
+	}
+}
+
+func TestFromGoldSmoothing(t *testing.T) {
+	// A juror who never voted must land on the Laplace prior 1/2, inside
+	// (0,1); a juror who was always right must stay above 0.
+	h, _ := NewHistory(2)
+	if err := h.Add([]Vote{VoteYes, Abstain}); err != nil {
+		t.Fatal(err)
+	}
+	rates, err := FromGold(h, []Vote{VoteYes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] <= 0 || rates[0] >= 1 || rates[1] != 0.5 {
+		t.Errorf("rates = %v", rates)
+	}
+}
+
+func TestFromGoldValidation(t *testing.T) {
+	h, _ := NewHistory(1)
+	if _, err := FromGold(h, nil); err == nil {
+		t.Error("expected error for empty history")
+	}
+	_ = h.Add([]Vote{VoteYes})
+	if _, err := FromGold(h, []Vote{VoteYes, VoteNo}); err == nil {
+		t.Error("expected error for truth/task count mismatch")
+	}
+	if _, err := FromGold(h, []Vote{Abstain}); err == nil {
+		t.Error("expected error for non-binary truth")
+	}
+}
+
+func TestEMRecoversRatesWithoutTruth(t *testing.T) {
+	eps := []float64{0.05, 0.15, 0.25, 0.35, 0.45}
+	h, _ := synthHistory(t, eps, 3000, 0, 3)
+	res, err := EM(h, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range eps {
+		if math.Abs(res.ErrorRates[i]-want) > 0.05 {
+			t.Errorf("juror %d: ε̂ = %.3f, want ≈ %.3f (EM without truth)", i, res.ErrorRates[i], want)
+		}
+	}
+	if res.Prior < 0.4 || res.Prior > 0.6 {
+		t.Errorf("prior = %.3f, want ≈ 0.5 for alternating truths", res.Prior)
+	}
+}
+
+func TestEMPosteriorsMatchTruths(t *testing.T) {
+	eps := []float64{0.1, 0.2, 0.2, 0.3, 0.3}
+	h, truths := synthHistory(t, eps, 1000, 0, 4)
+	res, err := EM(h, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, mvCorrect := 0, 0
+	for t2, q := range res.Posteriors {
+		decided := VoteNo
+		if q >= 0.5 {
+			decided = VoteYes
+		}
+		if decided == truths[t2] {
+			correct++
+		}
+		yes, no := 0, 0
+		for _, v := range h.votes[t2] {
+			switch v {
+			case VoteYes:
+				yes++
+			case VoteNo:
+				no++
+			}
+		}
+		mv := VoteNo
+		if yes > no {
+			mv = VoteYes
+		}
+		if mv == truths[t2] {
+			mvCorrect++
+		}
+	}
+	// The posterior (MAP) decision rule weights reliable jurors more, so
+	// it must do at least as well as unweighted majority voting (within a
+	// small sampling tolerance), and the MV accuracy itself is pinned by
+	// the analytic JER of this jury (0.07036 ⇒ ≈93% correct).
+	if correct < mvCorrect-10 {
+		t.Errorf("EM decisions (%d correct) fell below majority voting (%d correct)",
+			correct, mvCorrect)
+	}
+	if frac := float64(correct) / float64(len(truths)); frac < 0.90 {
+		t.Errorf("EM recovered only %.1f%% of truths", 100*frac)
+	}
+}
+
+func TestEMLogLikelihoodNonDecreasing(t *testing.T) {
+	eps := []float64{0.2, 0.4, 0.3}
+	h, _ := synthHistory(t, eps, 200, 0.3, 5)
+	var prev float64 = math.Inf(-1)
+	// Re-run EM with increasing iteration caps; the final log-likelihood
+	// must be non-decreasing in the cap (monotone EM ascent).
+	for _, cap := range []int{1, 2, 3, 5, 10, 50} {
+		res, err := EM(h, EMOptions{MaxIterations: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LogLikelihood < prev-1e-9 {
+			t.Fatalf("log-likelihood decreased: %g after cap %d (prev %g)",
+				res.LogLikelihood, cap, prev)
+		}
+		prev = res.LogLikelihood
+	}
+}
+
+func TestEMHandlesAbstentions(t *testing.T) {
+	eps := []float64{0.1, 0.3, 0.45}
+	h, _ := synthHistory(t, eps, 5000, 0.4, 6)
+	res, err := EM(h, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range eps {
+		if math.Abs(res.ErrorRates[i]-want) > 0.06 {
+			t.Errorf("juror %d: ε̂ = %.3f, want ≈ %.3f", i, res.ErrorRates[i], want)
+		}
+	}
+}
+
+func TestEMRatesInOpenInterval(t *testing.T) {
+	// Degenerate history: single juror always votes Yes on Yes tasks.
+	h, _ := NewHistory(1)
+	for i := 0; i < 50; i++ {
+		if err := h.Add([]Vote{VoteYes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := EM(h, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorRates[0] <= 0 || res.ErrorRates[0] >= 1 {
+		t.Errorf("rate %g escaped (0,1)", res.ErrorRates[0])
+	}
+}
+
+func TestEMEmptyHistory(t *testing.T) {
+	h, _ := NewHistory(2)
+	if _, err := EM(h, EMOptions{}); err == nil {
+		t.Error("expected error for empty history")
+	}
+}
+
+func TestEMBetterThanGoldFreeBaseline(t *testing.T) {
+	// EM (no truth) should approach the quality of FromGold (with truth):
+	// mean absolute estimation error within 2x of the gold estimator's.
+	eps := []float64{0.08, 0.18, 0.28, 0.38, 0.48}
+	h, truths := synthHistory(t, eps, 2500, 0, 7)
+	gold, err := FromGold(h, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := EM(h, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldErr, emErr float64
+	for i, want := range eps {
+		goldErr += math.Abs(gold[i] - want)
+		emErr += math.Abs(em.ErrorRates[i] - want)
+	}
+	if emErr > 2*goldErr+0.05 {
+		t.Errorf("EM error %.4f too far above gold error %.4f", emErr, goldErr)
+	}
+}

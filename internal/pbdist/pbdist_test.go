@@ -1,0 +1,360 @@
+package pbdist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestZeroValueIsPointMass(t *testing.T) {
+	var d Dist
+	if d.N() != 0 {
+		t.Fatalf("N = %d, want 0", d.N())
+	}
+	if got := d.Prob(0); got != 1 {
+		t.Fatalf("Prob(0) = %g, want 1", got)
+	}
+	if got := d.Prob(1); got != 0 {
+		t.Fatalf("Prob(1) = %g, want 0", got)
+	}
+	if got := d.TailAtLeast(0); got != 1 {
+		t.Fatalf("TailAtLeast(0) = %g, want 1", got)
+	}
+	if got := d.TailAtLeast(1); got != 0 {
+		t.Fatalf("TailAtLeast(1) = %g, want 0", got)
+	}
+	pmf := d.PMF()
+	if len(pmf) != 1 || pmf[0] != 1 {
+		t.Fatalf("PMF = %v, want [1]", pmf)
+	}
+}
+
+func TestSingleTrial(t *testing.T) {
+	d := MustNew([]float64{0.3})
+	if !almostEqual(d.Prob(0), 0.7, 1e-12) || !almostEqual(d.Prob(1), 0.3, 1e-12) {
+		t.Fatalf("PMF = %v, want [0.7 0.3]", d.PMF())
+	}
+}
+
+func TestMotivationExampleCDE(t *testing.T) {
+	// Paper Section 1: jurors C, D, E with ε = 0.2, 0.3, 0.3 give
+	// Pr(C ≥ 2) = 0.174.
+	d := MustNew([]float64{0.2, 0.3, 0.3})
+	if got := d.TailAtLeast(2); !almostEqual(got, 0.174, 1e-12) {
+		t.Fatalf("JER(C,D,E) = %.6f, want 0.174", got)
+	}
+}
+
+func TestMotivationExampleABC(t *testing.T) {
+	// Jurors A, B, C with ε = 0.1, 0.2, 0.2 give Pr(C ≥ 2) = 0.072.
+	d := MustNew([]float64{0.1, 0.2, 0.2})
+	if got := d.TailAtLeast(2); !almostEqual(got, 0.072, 1e-12) {
+		t.Fatalf("JER(A,B,C) = %.6f, want 0.072", got)
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 50, 301} {
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.001 + 0.998*rng.Float64()
+		}
+		d := MustNew(rates)
+		sum := 0.0
+		for _, v := range d.PMF() {
+			if v < 0 {
+				t.Fatalf("n=%d: negative mass %g", n, v)
+			}
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Fatalf("n=%d: total mass %g", n, sum)
+		}
+	}
+}
+
+func TestAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 3, 5, 9, 12} {
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.05 + 0.9*rng.Float64()
+		}
+		d := MustNew(rates)
+		for k := 0; k <= n+1; k++ {
+			want, err := TailEnum(rates, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := d.TailAtLeast(k); !almostEqual(got, want, 1e-10) {
+				t.Fatalf("n=%d k=%d: Dist %.12f enum %.12f", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestMoments(t *testing.T) {
+	rates := []float64{0.1, 0.2, 0.25, 0.4}
+	d := MustNew(rates)
+	wantMean := 0.1 + 0.2 + 0.25 + 0.4
+	wantVar := 0.1*0.9 + 0.2*0.8 + 0.25*0.75 + 0.4*0.6
+	if !almostEqual(d.Mean(), wantMean, 1e-12) {
+		t.Errorf("Mean = %g, want %g", d.Mean(), wantMean)
+	}
+	if !almostEqual(d.Variance(), wantVar, 1e-12) {
+		t.Errorf("Variance = %g, want %g", d.Variance(), wantVar)
+	}
+	// Cross-check against the PMF directly.
+	pmf := d.PMF()
+	m, m2 := 0.0, 0.0
+	for k, p := range pmf {
+		m += float64(k) * p
+		m2 += float64(k) * float64(k) * p
+	}
+	if !almostEqual(m, wantMean, 1e-10) {
+		t.Errorf("PMF mean = %g, want %g", m, wantMean)
+	}
+	if !almostEqual(m2-m*m, wantVar, 1e-10) {
+		t.Errorf("PMF var = %g, want %g", m2-m*m, wantVar)
+	}
+}
+
+func TestAppendPopRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := MustNew([]float64{0.2, 0.7, 0.5})
+	before := d.PMF()
+	// Push/pop a variety of rates, including ones near both ends where
+	// deconvolution stability matters.
+	for _, p := range []float64{0.01, 0.5, 0.99, 0.3, 0.849, rng.Float64()*0.98 + 0.01} {
+		if err := d.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Pop(); err != nil {
+			t.Fatal(err)
+		}
+		after := d.PMF()
+		for k := range before {
+			if !almostEqual(after[k], before[k], 1e-10) {
+				t.Fatalf("p=%g k=%d: %g != %g", p, k, after[k], before[k])
+			}
+		}
+	}
+}
+
+func TestDeepAppendPopStack(t *testing.T) {
+	// Simulate the DFS usage pattern of the OPT enumerator: many nested
+	// push/pop pairs must keep the distribution exact.
+	rng := rand.New(rand.NewSource(41))
+	base := []float64{0.3, 0.6}
+	d := MustNew(base)
+	var stack []float64
+	for step := 0; step < 2000; step++ {
+		if len(stack) == 0 || (len(stack) < 20 && rng.Intn(2) == 0) {
+			p := 0.02 + 0.96*rng.Float64()
+			stack = append(stack, p)
+			if err := d.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			stack = stack[:len(stack)-1]
+			if err := d.Pop(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for range stack {
+		if err := d.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := MustNew(base).PMF()
+	got := d.PMF()
+	for k := range want {
+		if !almostEqual(got[k], want[k], 1e-8) {
+			t.Fatalf("k=%d: %g != %g after long push/pop walk", k, got[k], want[k])
+		}
+	}
+}
+
+func TestPopEmptyErrors(t *testing.T) {
+	var d Dist
+	if err := d.Pop(); err == nil {
+		t.Fatal("expected error popping empty distribution")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, bad := range [][]float64{{0}, {1}, {-0.1}, {1.1}, {math.NaN()}, {0.5, 2}} {
+		if _, err := New(bad); !errors.Is(err, ErrRateOutOfRange) {
+			t.Errorf("New(%v): err = %v, want ErrRateOutOfRange", bad, err)
+		}
+	}
+	var d Dist
+	if err := d.Append(0); !errors.Is(err, ErrRateOutOfRange) {
+		t.Errorf("Append(0): err = %v, want ErrRateOutOfRange", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := MustNew([]float64{0.2, 0.4})
+	c := d.Clone()
+	if err := c.Append(0.9); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || c.N() != 3 {
+		t.Fatalf("clone not independent: d.N=%d c.N=%d", d.N(), c.N())
+	}
+	if !almostEqual(d.TailAtLeast(2), MustNew([]float64{0.2, 0.4}).TailAtLeast(2), 1e-12) {
+		t.Fatal("original mutated by clone append")
+	}
+}
+
+func TestRatesCopy(t *testing.T) {
+	d := MustNew([]float64{0.2, 0.4})
+	r := d.Rates()
+	r[0] = 0.99
+	if d.Rates()[0] != 0.2 {
+		t.Fatal("Rates leaked internal slice")
+	}
+}
+
+func TestTailEnumBounds(t *testing.T) {
+	if _, err := TailEnum(make([]float64, 26), 1); err == nil {
+		t.Fatal("expected error for n > 25")
+	}
+	got, err := TailEnum([]float64{0.5}, 0)
+	if err != nil || got != 1 {
+		t.Fatalf("TailEnum(k=0) = %g, %v; want 1, nil", got, err)
+	}
+	got, err = TailEnum([]float64{0.5}, 2)
+	if err != nil || got != 0 {
+		t.Fatalf("TailEnum(k=2) = %g, %v; want 0, nil", got, err)
+	}
+}
+
+func TestTailMonotoneInK(t *testing.T) {
+	d := MustNew([]float64{0.1, 0.5, 0.9, 0.33, 0.72})
+	prev := 1.0
+	for k := 0; k <= 6; k++ {
+		cur := d.TailAtLeast(k)
+		if cur > prev+1e-12 {
+			t.Fatalf("tail increased at k=%d: %g > %g", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// Property: identically-distributed trials reduce to the Binomial law.
+func TestBinomialSpecialCase(t *testing.T) {
+	const n, p = 12, 0.3
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = p
+	}
+	d := MustNew(rates)
+	for k := 0; k <= n; k++ {
+		want := binomPMF(n, k, p)
+		if got := d.Prob(k); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("k=%d: got %g want %g", k, got, want)
+		}
+	}
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+// Property: appending a trial never decreases the tail at a fixed k
+// (an extra potentially-wrong juror can only add wrong votes).
+func TestAppendTailMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.02 + 0.96*rng.Float64()
+		}
+		d := MustNew(rates)
+		k := 1 + rng.Intn(n)
+		before := d.TailAtLeast(k)
+		if err := d.Append(0.02 + 0.96*rng.Float64()); err != nil {
+			return false
+		}
+		after := d.TailAtLeast(k)
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dist tail equals enumeration tail on random small instances.
+func TestQuickTailMatchesEnum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.02 + 0.96*rng.Float64()
+		}
+		k := rng.Intn(n + 2)
+		d := MustNew(rates)
+		want, err := TailEnum(rates, k)
+		if err != nil {
+			return false
+		}
+		return almostEqual(d.TailAtLeast(k), want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalTailApproxReasonable(t *testing.T) {
+	// For a large homogeneous jury the normal approximation should be close.
+	const n, p = 1001, 0.3
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = p
+	}
+	d := MustNew(rates)
+	k := (n + 1) / 2
+	exact := d.TailAtLeast(k)
+	approx := NormalTailApprox(rates, k)
+	if math.Abs(exact-approx) > 1e-3 {
+		t.Errorf("normal approx %g vs exact %g", approx, exact)
+	}
+}
+
+func TestNormalTailApproxDegenerate(t *testing.T) {
+	if got := NormalTailApprox(nil, 0); got != 1 {
+		t.Errorf("empty rates k=0: got %g want 1", got)
+	}
+	if got := NormalTailApprox(nil, 1); got != 0 {
+		t.Errorf("empty rates k=1: got %g want 0", got)
+	}
+}
+
+func BenchmarkAppend1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rates := make([]float64, 1000)
+	for i := range rates {
+		rates[i] = 0.01 + 0.98*rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var d Dist
+		for _, p := range rates {
+			_ = d.Append(p)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package rank implements the user-ranking algorithms of Section 4.1.2:
+// HITS (Algorithm 6) and PageRank (Algorithm 7) over the retweet graph.
+// Both return per-user quality ("confidence") scores that internal/estimate
+// translates into individual error rates.
+package rank
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"juryselect/internal/graph"
+)
+
+// ErrEmptyGraph reports ranking over a graph with no nodes.
+var ErrEmptyGraph = errors.New("rank: empty graph")
+
+// Norm selects the normalization applied to HITS score vectors each
+// iteration. The paper's Algorithm 6 says only "Normalize"; L2 is
+// Kleinberg's original choice and the default.
+type Norm int
+
+const (
+	// L2 normalizes by the Euclidean norm.
+	L2 Norm = iota
+	// L1 normalizes by the sum of entries.
+	L1
+)
+
+// HITSOptions configures the HITS computation.
+type HITSOptions struct {
+	// Iterations caps the number of authority/hub update rounds. Zero
+	// selects the default of 50, which is far past convergence for the
+	// graphs in this repository.
+	Iterations int
+	// Tolerance stops iteration early when the L1 change of the authority
+	// vector falls below it. Zero selects 1e-10.
+	Tolerance float64
+	// Norm selects the per-iteration normalization (default L2).
+	Norm Norm
+}
+
+// HITS runs Algorithm 6 and returns each user's authority score, which the
+// paper adopts as the quality score. Hub scores are returned alongside for
+// completeness. Score order matches the graph's dense node indices.
+func HITS(g *graph.Graph, opts HITSOptions) (authority, hub []float64, err error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil, ErrEmptyGraph
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 50
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	authority = make([]float64, n)
+	hub = make([]float64, n)
+	next := make([]float64, n)
+	// Line 1: initialize scores and hubs to 1.
+	for i := range authority {
+		authority[i] = 1
+		hub[i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		// Lines 3–7: Score[v] += Hub[u] over edges (u,v), then normalize.
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			for _, u := range g.InNeighbors(v) {
+				next[v] += hub[u]
+			}
+		}
+		normalize(next, opts.Norm)
+		delta := l1Diff(next, authority)
+		copy(authority, next)
+		// Lines 8–12: Hub[u] += Score[v] over edges (u,v), then normalize.
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.OutNeighbors(u) {
+				next[u] += authority[v]
+			}
+		}
+		normalize(next, opts.Norm)
+		copy(hub, next)
+		if delta < tol {
+			break
+		}
+	}
+	return authority, hub, nil
+}
+
+// DanglingPolicy controls how PageRank treats nodes without out-edges.
+type DanglingPolicy int
+
+const (
+	// Redistribute spreads dangling mass uniformly over all nodes each
+	// iteration (the standard correction). Default.
+	Redistribute DanglingPolicy = iota
+	// Ignore drops dangling mass, replicating Algorithm 7's literal
+	// pseudocode; scores then sum to less than one.
+	Ignore
+)
+
+// PageRankOptions configures the PageRank computation.
+type PageRankOptions struct {
+	// Damping is the damping factor d; zero selects the customary 0.85.
+	Damping float64
+	// Iterations caps the number of rounds; zero selects 100.
+	Iterations int
+	// Tolerance stops iteration early when the L1 change falls below it;
+	// zero selects 1e-12.
+	Tolerance float64
+	// Dangling selects the sink-node policy.
+	Dangling DanglingPolicy
+}
+
+// PageRank runs Algorithm 7 and returns each user's PageRank score, in
+// dense node-index order.
+func PageRank(g *graph.Graph, opts PageRankOptions) ([]float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	d := opts.Damping
+	if d <= 0 || d >= 1 {
+		d = 0.85
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 100
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	score := make([]float64, n)
+	next := make([]float64, n)
+	// Lines 3–7: Score[user] = 1/n; Out and In_Set come from the graph.
+	for i := range score {
+		score[i] = 1 / float64(n)
+	}
+	base := (1 - d) / float64(n)
+	for it := 0; it < iters; it++ {
+		danglingMass := 0.0
+		if opts.Dangling == Redistribute {
+			for u := 0; u < n; u++ {
+				if g.OutDegree(u) == 0 {
+					danglingMass += score[u]
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			// Line 10: New_Score[v] = (1-d)/n + d·Σ_{u ∈ In(v)} Score[u]/Out[u].
+			sum := 0.0
+			for _, u := range g.InNeighbors(v) {
+				sum += score[u] / float64(g.OutDegree(u))
+			}
+			next[v] = base + d*(sum+danglingMass/float64(n))
+		}
+		delta := l1Diff(next, score)
+		score, next = next, score
+		if delta < tol {
+			break
+		}
+	}
+	return score, nil
+}
+
+func normalize(v []float64, norm Norm) {
+	var z float64
+	switch norm {
+	case L1:
+		for _, x := range v {
+			z += x
+		}
+	default:
+		for _, x := range v {
+			z += x * x
+		}
+		z = math.Sqrt(z)
+	}
+	if z == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= z
+	}
+}
+
+func l1Diff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// Ranked pairs a user name with a quality score.
+type Ranked struct {
+	User  string
+	Score float64
+}
+
+// TopK returns the k highest-scoring users (all users when k ≤ 0 or k >
+// #nodes), sorted by descending score with ties broken by user name. This
+// mirrors the paper's "choose the 5,000 users with highest scores".
+func TopK(g *graph.Graph, scores []float64, k int) []Ranked {
+	n := g.NumNodes()
+	all := make([]Ranked, n)
+	for i := 0; i < n; i++ {
+		all[i] = Ranked{User: g.Name(i), Score: scores[i]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].User < all[j].User
+	})
+	if k <= 0 || k > n {
+		k = n
+	}
+	return all[:k]
+}

@@ -1,0 +1,244 @@
+package rank
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"juryselect/internal/graph"
+)
+
+// chainGraph builds a -> b -> c.
+func chainGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// starGraph builds n spokes all retweeting "celebrity".
+func starGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(spokeName(i), "celebrity"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func spokeName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestHITSAuthorityConcentratesOnCelebrity(t *testing.T) {
+	g := starGraph(t, 10)
+	auth, hub, err := HITS(g, HITSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	celeb, _ := g.Index("celebrity")
+	for v := 0; v < g.NumNodes(); v++ {
+		if v == celeb {
+			continue
+		}
+		if auth[celeb] <= auth[v] {
+			t.Fatalf("celebrity authority %g not maximal (node %s has %g)",
+				auth[celeb], g.Name(v), auth[v])
+		}
+		if hub[v] <= hub[celeb] {
+			t.Fatalf("spoke hub %g not above celebrity hub %g", hub[v], hub[celeb])
+		}
+	}
+}
+
+func TestHITSScoresNonNegative(t *testing.T) {
+	g := chainGraph(t)
+	auth, hub, err := HITS(g, HITSOptions{Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range auth {
+		if auth[i] < 0 || hub[i] < 0 || math.IsNaN(auth[i]) || math.IsNaN(hub[i]) {
+			t.Fatalf("invalid scores at %d: auth=%g hub=%g", i, auth[i], hub[i])
+		}
+	}
+}
+
+func TestHITSL1NormSumsToOne(t *testing.T) {
+	g := starGraph(t, 5)
+	auth, _, err := HITS(g, HITSOptions{Norm: L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, a := range auth {
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("L1-normalized authority sums to %g, want 1", sum)
+	}
+}
+
+func TestHITSEmptyGraph(t *testing.T) {
+	if _, _, err := HITS(graph.New(), HITSOptions{}); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("err = %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	// With Redistribute, PageRank is a probability distribution.
+	g := starGraph(t, 10)
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range pr {
+		if s < 0 {
+			t.Fatalf("negative PageRank %g", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %g, want 1", sum)
+	}
+}
+
+func TestPageRankCelebrityWins(t *testing.T) {
+	g := starGraph(t, 10)
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	celeb, _ := g.Index("celebrity")
+	for v := 0; v < g.NumNodes(); v++ {
+		if v != celeb && pr[celeb] <= pr[v] {
+			t.Fatalf("celebrity PR %g not maximal", pr[celeb])
+		}
+	}
+}
+
+func TestPageRankIgnoreDanglingLosesMass(t *testing.T) {
+	g := starGraph(t, 5) // celebrity is a sink
+	pr, err := PageRank(g, PageRankOptions{Dangling: Ignore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range pr {
+		sum += s
+	}
+	if sum >= 1 {
+		t.Fatalf("Ignore policy should lose mass; sum = %g", sum)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every node must receive the same score.
+	g := graph.New()
+	nodes := []string{"a", "b", "c", "d"}
+	for i := range nodes {
+		if err := g.AddEdge(nodes[i], nodes[(i+1)%len(nodes)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pr); i++ {
+		if math.Abs(pr[i]-pr[0]) > 1e-9 {
+			t.Fatalf("cycle not uniform: %v", pr)
+		}
+	}
+	if math.Abs(pr[0]-0.25) > 1e-9 {
+		t.Fatalf("cycle score %g, want 0.25", pr[0])
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	if _, err := PageRank(graph.New(), PageRankOptions{}); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("err = %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestPageRankDampingDefaultApplied(t *testing.T) {
+	g := chainGraph(t)
+	// Damping outside (0,1) falls back to 0.85; must not panic or NaN.
+	for _, d := range []float64{0, 1, -3, 2} {
+		pr, err := PageRank(g, PageRankOptions{Damping: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range pr {
+			if math.IsNaN(s) {
+				t.Fatalf("NaN score with damping %g", d)
+			}
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := starGraph(t, 6)
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopK(g, pr, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].User != "celebrity" {
+		t.Fatalf("top user = %s, want celebrity", top[0].User)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Score < top[i].Score {
+			t.Fatal("not sorted descending")
+		}
+	}
+	// k ≤ 0 returns everyone.
+	if got := TopK(g, pr, 0); len(got) != g.NumNodes() {
+		t.Fatalf("TopK(0) = %d entries, want all %d", len(got), g.NumNodes())
+	}
+	// Oversized k clamps.
+	if got := TopK(g, pr, 100); len(got) != g.NumNodes() {
+		t.Fatalf("TopK(100) = %d entries, want %d", len(got), g.NumNodes())
+	}
+}
+
+func TestHITSAndPageRankAgreeOnHead(t *testing.T) {
+	// §4.1.2: "most top ranking users discovered by Pagerank overlaps with
+	// the ones identified by HITS". On a two-celebrity graph both must
+	// put the celebrities first.
+	g := graph.New()
+	for i := 0; i < 8; i++ {
+		if err := g.AddEdge(spokeName(i), "celebA"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := g.AddEdge(spokeName(i), "celebB"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auth, _, err := HITS(g, HITSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topH := TopK(g, auth, 2)
+	topP := TopK(g, pr, 2)
+	wantTop := map[string]bool{"celebA": true, "celebB": true}
+	for _, r := range append(topH, topP...) {
+		if !wantTop[r.User] {
+			t.Fatalf("unexpected head user %q (HITS %v, PR %v)", r.User, topH, topP)
+		}
+	}
+}

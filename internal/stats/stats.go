@@ -1,0 +1,135 @@
+// Package stats provides the small statistical utilities the experiment
+// harness needs: summary statistics over float series, set-overlap
+// precision/recall for comparing the heuristic jury against the exact
+// optimum (Figure 3(h)), and fixed-width histogram binning for workload
+// diagnostics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a series.
+type Summary struct {
+	Count    int
+	Mean     float64
+	Variance float64 // population variance
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+}
+
+// Summarize computes a Summary. It returns an error for an empty series or
+// one containing NaN.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty series")
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return Summary{}, errors.New("stats: NaN in series")
+		}
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Variance = ss / float64(len(xs))
+	s.StdDev = math.Sqrt(s.Variance)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// PrecisionRecall compares a predicted set against a reference ("truth")
+// set by membership:
+//
+//	precision = |pred ∩ truth| / |pred|
+//	recall    = |pred ∩ truth| / |truth|
+//
+// This is the metric of Figure 3(h), where pred is PayALG's jury and truth
+// is the enumerated optimum. Empty sets yield zero for the corresponding
+// ratio.
+func PrecisionRecall(pred, truth []string) (precision, recall float64) {
+	if len(pred) == 0 && len(truth) == 0 {
+		return 1, 1 // both empty: perfect agreement
+	}
+	tset := make(map[string]bool, len(truth))
+	for _, id := range truth {
+		tset[id] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(pred))
+	for _, id := range pred {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if tset[id] {
+			inter++
+		}
+	}
+	if len(seen) > 0 {
+		precision = float64(inter) / float64(len(seen))
+	}
+	if len(tset) > 0 {
+		recall = float64(inter) / float64(len(tset))
+	}
+	return precision, recall
+}
+
+// Histogram bins xs into count equal-width bins spanning [min, max].
+type Histogram struct {
+	// Edges has count+1 entries; bin i covers [Edges[i], Edges[i+1]).
+	Edges []float64
+	// Counts has count entries.
+	Counts []int
+}
+
+// NewHistogram builds a histogram with the given number of bins. The last
+// bin is closed on the right so max lands inside it.
+func NewHistogram(xs []float64, bins int) (Histogram, error) {
+	if bins <= 0 {
+		return Histogram{}, errors.New("stats: bins must be positive")
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		return Histogram{}, err
+	}
+	h := Histogram{Edges: make([]float64, bins+1), Counts: make([]int, bins)}
+	width := (s.Max - s.Min) / float64(bins)
+	if width == 0 {
+		width = 1 // all-identical series: everything lands in bin 0
+	}
+	for i := range h.Edges {
+		h.Edges[i] = s.Min + float64(i)*width
+	}
+	for _, x := range xs {
+		i := int((x - s.Min) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Errorf("variance %g, want 1.25", s.Variance)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("median %g, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s, err := Summarize([]float64{9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 5 {
+		t.Errorf("median %g, want 5", s.Median)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Error("expected error for NaN")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	cases := []struct {
+		pred, truth []string
+		p, r        float64
+	}{
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 1, 1},
+		{[]string{"a", "b"}, []string{"a", "b", "c", "d"}, 1, 0.5},
+		{[]string{"a", "x", "y", "z"}, []string{"a", "b"}, 0.25, 0.5},
+		{[]string{"x"}, []string{"a"}, 0, 0},
+		{nil, nil, 1, 1},
+		{nil, []string{"a"}, 0, 0},
+		{[]string{"a"}, nil, 0, 0},
+		{[]string{"a", "a", "b"}, []string{"a"}, 0.5, 1}, // duplicates collapse
+	}
+	for _, tc := range cases {
+		p, r := PrecisionRecall(tc.pred, tc.truth)
+		if math.Abs(p-tc.p) > 1e-12 || math.Abs(r-tc.r) > 1e-12 {
+			t.Errorf("PrecisionRecall(%v, %v) = (%g, %g), want (%g, %g)",
+				tc.pred, tc.truth, p, r, tc.p, tc.r)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 0.1, 0.2, 0.9, 1.0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 2 || len(h.Edges) != 3 {
+		t.Fatalf("histogram shape: %+v", h)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Fatalf("counts = %v, want [3 2]", h.Counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost mass: %v", h.Counts)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(nil, 2); err == nil {
+		t.Error("expected error for empty series")
+	}
+}

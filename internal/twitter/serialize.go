@@ -1,0 +1,56 @@
+package twitter
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTSV writes tweets as "author<TAB>content" lines — the interchange
+// format cmd/tweetrank reads — so synthetic corpora can be exported, edited
+// and replayed. Authors and content must not contain tabs or newlines;
+// offending records are rejected rather than silently mangled.
+func WriteTSV(w io.Writer, tweets []Record) error {
+	bw := bufio.NewWriter(w)
+	for i, tw := range tweets {
+		if strings.ContainsAny(tw.Author, "\t\n") || strings.ContainsAny(tw.Content, "\t\n") {
+			return fmt.Errorf("twitter: record %d contains a tab or newline", i)
+		}
+		if tw.Author == "" {
+			return fmt.Errorf("twitter: record %d has an empty author", i)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", tw.Author, tw.Content); err != nil {
+			return fmt.Errorf("twitter: writing TSV: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses "author<TAB>content" lines, skipping blank lines.
+func ReadTSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		author, content, ok := strings.Cut(text, "\t")
+		if !ok || author == "" {
+			return nil, fmt.Errorf("twitter: line %d: want 'author<TAB>content'", line)
+		}
+		out = append(out, Record{Author: author, Content: content})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("twitter: reading TSV: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("twitter: no tweets in input")
+	}
+	return out, nil
+}

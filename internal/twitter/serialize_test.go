@@ -1,0 +1,91 @@
+package twitter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"juryselect/internal/randx"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	c := Generate(GeneratorConfig{Users: 50, Tweets: 300}, randx.New(3))
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, c.Tweets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(c.Tweets) {
+		t.Fatalf("round trip: %d tweets, want %d", len(back), len(c.Tweets))
+	}
+	for i := range back {
+		if back[i] != c.Tweets[i] {
+			t.Fatalf("tweet %d changed: %+v vs %+v", i, back[i], c.Tweets[i])
+		}
+	}
+}
+
+func TestWriteTSVRejectsBadRecords(t *testing.T) {
+	cases := []Record{
+		{Author: "tab\tuser", Content: "x"},
+		{Author: "a", Content: "line\nbreak"},
+		{Author: "", Content: "anonymous"},
+	}
+	for _, rec := range cases {
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, []Record{rec}); err == nil {
+			t.Errorf("record %+v accepted", rec)
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("")); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := ReadTSV(strings.NewReader("no-tab\n")); err == nil {
+		t.Error("expected error for missing tab")
+	}
+	if _, err := ReadTSV(strings.NewReader("\tno-author\n")); err == nil {
+		t.Error("expected error for empty author")
+	}
+}
+
+func TestReadTSVSkipsBlankLines(t *testing.T) {
+	recs, err := ReadTSV(strings.NewReader("a\tx\n\n\nb\ty\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}
+
+// TestTSVFeedsParser: a serialized corpus must parse identically to the
+// in-memory one (the RT chains survive the round trip).
+func TestTSVFeedsParser(t *testing.T) {
+	c := Generate(GeneratorConfig{Users: 30, Tweets: 100}, randx.New(4))
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, c.Tweets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		orig := RetweetPairs(c.Tweets[i])
+		got := RetweetPairs(back[i])
+		if len(orig) != len(got) {
+			t.Fatalf("tweet %d: pair count changed %d vs %d", i, len(got), len(orig))
+		}
+		for k := range orig {
+			if orig[k] != got[k] {
+				t.Fatalf("tweet %d pair %d changed", i, k)
+			}
+		}
+	}
+}

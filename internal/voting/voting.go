@@ -1,0 +1,180 @@
+// Package voting implements the Majority Voting scheme of Definition 3 and
+// a decision-task simulator.
+//
+// A Voting (Definition 2) is a set of binary opinions returned by a jury on
+// a decision-making task with a latent ground truth. MajorityVote aggregates
+// a voting into a single decision. Simulator draws complete votings from the
+// jurors' individual error rates, so empirical jury failure frequencies can
+// be compared against the analytic Jury Error Rate — the law-of-large-numbers
+// validation used in the tests and the rumor example.
+package voting
+
+import (
+	"errors"
+	"fmt"
+
+	"juryselect/internal/pbdist"
+	"juryselect/internal/randx"
+)
+
+// Decision is the outcome of aggregating a voting.
+type Decision int
+
+const (
+	// No is the negative decision (0 in the paper's notation).
+	No Decision = 0
+	// Yes is the positive decision (1 in the paper's notation).
+	Yes Decision = 1
+	// Tie reports an even split; only possible for even jury sizes, which
+	// Definition 3 excludes but the API tolerates.
+	Tie Decision = 2
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	case Tie:
+		return "tie"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// ErrEmptyVoting reports aggregation of zero votes.
+var ErrEmptyVoting = errors.New("voting: empty voting")
+
+// MajorityVote implements Definition 3: it returns Yes when at least
+// (n+1)/2 of the votes are true, No when at most (n-1)/2 are, and Tie on an
+// exact even split.
+func MajorityVote(votes []bool) (Decision, error) {
+	n := len(votes)
+	if n == 0 {
+		return No, ErrEmptyVoting
+	}
+	yes := 0
+	for _, v := range votes {
+		if v {
+			yes++
+		}
+	}
+	no := n - yes
+	switch {
+	case yes > no:
+		return Yes, nil
+	case no > yes:
+		return No, nil
+	default:
+		return Tie, nil
+	}
+}
+
+// Task is a decision-making task with a latent binary ground truth, e.g.
+// "Is Turkey in Europe?" or "is this tweet a rumor?". The truth is hidden
+// from the jury; the simulator uses it to decide whether each sampled vote
+// is correct.
+type Task struct {
+	// ID labels the task in reports.
+	ID string
+	// Truth is the latent correct answer.
+	Truth Decision
+}
+
+// Simulator draws votings for juries described by individual error rates.
+type Simulator struct {
+	src *randx.Source
+}
+
+// NewSimulator returns a simulator drawing randomness from src.
+func NewSimulator(src *randx.Source) *Simulator {
+	return &Simulator{src: src}
+}
+
+// Vote samples one voting for a task: juror i votes the truth with
+// probability 1-rates[i] and the opposite with probability rates[i]
+// (Definition 4). The returned slice holds each juror's opinion as a
+// boolean where true means Yes.
+func (s *Simulator) Vote(task Task, rates []float64) ([]bool, error) {
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return nil, err
+	}
+	if task.Truth != Yes && task.Truth != No {
+		return nil, fmt.Errorf("voting: task %q has no binary ground truth", task.ID)
+	}
+	votes := make([]bool, len(rates))
+	truth := task.Truth == Yes
+	for i, e := range rates {
+		if s.src.Bernoulli(e) {
+			votes[i] = !truth
+		} else {
+			votes[i] = truth
+		}
+	}
+	return votes, nil
+}
+
+// Outcome summarises a simulated batch of tasks for one jury.
+type Outcome struct {
+	// Tasks is the number of simulated decision tasks.
+	Tasks int
+	// Correct counts tasks where the majority decision matched the truth.
+	Correct int
+	// Wrong counts tasks where the majority decision opposed the truth.
+	Wrong int
+	// Ties counts undecided tasks (even juries only).
+	Ties int
+}
+
+// ErrorRate returns the empirical jury error rate: wrong decisions (ties
+// count as wrong, since no decision was delivered) over all tasks.
+func (o Outcome) ErrorRate() float64 {
+	if o.Tasks == 0 {
+		return 0
+	}
+	return float64(o.Wrong+o.Ties) / float64(o.Tasks)
+}
+
+// Run simulates tasks independent decision tasks (alternating latent
+// truths) for a jury with the given error rates and reports the aggregate
+// outcome. With an odd jury the empirical ErrorRate converges to the
+// analytic JER as tasks grows.
+func (s *Simulator) Run(rates []float64, tasks int) (Outcome, error) {
+	if len(rates) == 0 {
+		return Outcome{}, ErrEmptyVoting
+	}
+	if tasks <= 0 {
+		return Outcome{}, errors.New("voting: Run requires tasks > 0")
+	}
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	for t := 0; t < tasks; t++ {
+		truth := Yes
+		if t%2 == 1 {
+			truth = No
+		}
+		task := Task{ID: fmt.Sprintf("task-%d", t), Truth: truth}
+		votes, err := s.Vote(task, rates)
+		if err != nil {
+			return Outcome{}, err
+		}
+		dec, err := MajorityVote(votes)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.Tasks++
+		switch {
+		case dec == Tie:
+			out.Ties++
+		case dec == truth:
+			out.Correct++
+		default:
+			out.Wrong++
+		}
+	}
+	return out, nil
+}

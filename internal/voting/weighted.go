@@ -1,0 +1,114 @@
+package voting
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"juryselect/internal/pbdist"
+)
+
+// This file implements weighted majority voting, an extension beyond the
+// paper's plain Majority Voting (Definition 3). When the individual error
+// rates are known — which jury selection already assumes — the
+// Bayes-optimal aggregation of independent binary votes weights each vote
+// by its log-odds of correctness,
+//
+//	w_i = log((1-ε_i)/ε_i),
+//
+// the classical Nitzan–Paroush rule. Plain majority voting is the special
+// case of equal weights. The ablation harness uses this to quantify how
+// much accuracy the paper's scheme leaves on the table by ignoring ε at
+// aggregation time (it only uses ε at selection time).
+
+// ErrWeightMismatch reports votes and rates of different lengths.
+var ErrWeightMismatch = errors.New("voting: votes and rates length mismatch")
+
+// LogOddsWeights returns the Bayes-optimal vote weights for the given
+// error rates. Rates must lie in (0,1); a rate below 1/2 yields a positive
+// weight, a rate above 1/2 a negative one (an anti-expert's vote counts
+// against its stated direction).
+func LogOddsWeights(rates []float64) ([]float64, error) {
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(rates))
+	for i, e := range rates {
+		w[i] = math.Log((1 - e) / e)
+	}
+	return w, nil
+}
+
+// WeightedMajorityVote aggregates votes with the log-odds weights of the
+// given error rates: it returns Yes when the weighted sum of Yes votes
+// exceeds that of No votes, No in the opposite case, and Tie on an exact
+// balance (measure-zero for generic rates).
+func WeightedMajorityVote(votes []bool, rates []float64) (Decision, error) {
+	if len(votes) == 0 {
+		return No, ErrEmptyVoting
+	}
+	if len(votes) != len(rates) {
+		return No, fmt.Errorf("%w: %d votes, %d rates", ErrWeightMismatch, len(votes), len(rates))
+	}
+	w, err := LogOddsWeights(rates)
+	if err != nil {
+		return No, err
+	}
+	score := 0.0
+	for i, v := range votes {
+		if v {
+			score += w[i]
+		} else {
+			score -= w[i]
+		}
+	}
+	switch {
+	case score > 0:
+		return Yes, nil
+	case score < 0:
+		return No, nil
+	default:
+		return Tie, nil
+	}
+}
+
+// RunWeighted simulates tasks like Run but aggregates with
+// WeightedMajorityVote instead of plain majority. Comparing the two
+// outcomes on the same jury isolates the value of ε-aware aggregation.
+func (s *Simulator) RunWeighted(rates []float64, tasks int) (Outcome, error) {
+	if len(rates) == 0 {
+		return Outcome{}, ErrEmptyVoting
+	}
+	if tasks <= 0 {
+		return Outcome{}, errors.New("voting: RunWeighted requires tasks > 0")
+	}
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	for t := 0; t < tasks; t++ {
+		truth := Yes
+		if t%2 == 1 {
+			truth = No
+		}
+		task := Task{ID: fmt.Sprintf("task-%d", t), Truth: truth}
+		votes, err := s.Vote(task, rates)
+		if err != nil {
+			return Outcome{}, err
+		}
+		dec, err := WeightedMajorityVote(votes, rates)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.Tasks++
+		switch {
+		case dec == Tie:
+			out.Ties++
+		case dec == truth:
+			out.Correct++
+		default:
+			out.Wrong++
+		}
+	}
+	return out, nil
+}

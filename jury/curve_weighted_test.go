@@ -1,0 +1,74 @@
+package jury_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"juryselect/jury"
+)
+
+func TestJERCurveMatchesSelection(t *testing.T) {
+	cands := figure1()
+	curve, err := jury.JERCurve(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 4 { // sizes 1, 3, 5, 7
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	sel, err := jury.SelectAltruistic(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.JER < best.JER {
+			best = p
+		}
+	}
+	if best.Size != sel.Size() || math.Abs(best.JER-sel.JER) > 1e-12 {
+		t.Fatalf("curve minimum (%d, %g) disagrees with selection (%d, %g)",
+			best.Size, best.JER, sel.Size(), sel.JER)
+	}
+}
+
+func TestJERCurveValidation(t *testing.T) {
+	if _, err := jury.JERCurve(nil); !errors.Is(err, jury.ErrNoCandidates) {
+		t.Errorf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestWeightedMajorityVotePublic(t *testing.T) {
+	// Expert outweighs two mediocre dissenters.
+	d, err := jury.WeightedMajorityVote([]bool{true, false, false}, []float64{0.01, 0.45, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != jury.Yes {
+		t.Errorf("decision = %v, want Yes", d)
+	}
+	w, err := jury.VoteWeights([]float64{0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w[0] > 0 && w[1] < 0) {
+		t.Errorf("weights = %v, want (+, -)", w)
+	}
+}
+
+func TestSimulateWeightedBeatsPlainOnHeterogeneousJury(t *testing.T) {
+	rates := []float64{0.05, 0.45, 0.45, 0.45, 0.45}
+	plain, err := jury.Simulate(rates, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := jury.SimulateWeighted(rates, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.ErrorRate() >= plain.ErrorRate() {
+		t.Errorf("weighted %.4f not better than plain %.4f on expert+crowd jury",
+			weighted.ErrorRate(), plain.ErrorRate())
+	}
+}

@@ -1,0 +1,76 @@
+package jury_test
+
+import (
+	"fmt"
+
+	"juryselect/jury"
+)
+
+// The motivation example of the paper: the best jury over seven candidate
+// jurors is the size-5 jury {A,B,C,D,E}, beating both the single best
+// juror and the full crowd.
+func ExampleSelectAltruistic() {
+	candidates := []jury.Juror{
+		{ID: "A", ErrorRate: 0.1}, {ID: "B", ErrorRate: 0.2},
+		{ID: "C", ErrorRate: 0.2}, {ID: "D", ErrorRate: 0.3},
+		{ID: "E", ErrorRate: 0.3}, {ID: "F", ErrorRate: 0.4},
+		{ID: "G", ErrorRate: 0.4},
+	}
+	sel, err := jury.SelectAltruistic(candidates)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("size=%d jer=%.5f\n", sel.Size(), sel.JER)
+	// Output: size=5 jer=0.07036
+}
+
+// JER computes the exact probability that majority voting goes wrong.
+func ExampleJER() {
+	v, err := jury.JER([]float64{0.2, 0.3, 0.3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.3f\n", v)
+	// Output: 0.174
+}
+
+// With a budget, jurors' payment requirements constrain the jury: the
+// greedy seeds with the best quality-for-money candidate and grows by
+// pairs while the budget allows and the error rate improves.
+func ExampleSelectBudgeted() {
+	candidates := []jury.Juror{
+		{ID: "a", ErrorRate: 0.20, Cost: 0.10},
+		{ID: "b", ErrorRate: 0.25, Cost: 0.15},
+		{ID: "c", ErrorRate: 0.25, Cost: 0.15},
+		{ID: "d", ErrorRate: 0.10, Cost: 0.80}, // too expensive to pair
+	}
+	sel, err := jury.SelectBudgeted(candidates, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v cost=%.2f\n", sel.IDs(), sel.Cost)
+	// Output: [a b c] cost=0.40
+}
+
+// MajorityVote aggregates a voting into a decision.
+func ExampleMajorityVote() {
+	d, err := jury.MajorityVote([]bool{true, true, false})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d)
+	// Output: yes
+}
+
+// Select dispatches on the crowdsourcing model.
+func ExampleSelect() {
+	candidates := []jury.Juror{
+		{ID: "x", ErrorRate: 0.2, Cost: 0.3},
+		{ID: "y", ErrorRate: 0.3, Cost: 0.3},
+		{ID: "z", ErrorRate: 0.3, Cost: 0.3},
+	}
+	altr, _ := jury.Select(candidates, jury.Altruism)
+	pay, _ := jury.Select(candidates, jury.PayAsYouGo(0.35))
+	fmt.Printf("altruism=%d paid=%d\n", altr.Size(), pay.Size())
+	// Output: altruism=3 paid=1
+}

@@ -1,0 +1,48 @@
+package jury
+
+import (
+	"juryselect/internal/learn"
+)
+
+// This file exposes history-based error-rate estimation (package
+// internal/learn): the alternative to the micro-blog graph estimation of
+// package microblog that the paper's §4 explicitly allows ("any other
+// reasonable measures can be smoothly plugged in to our framework").
+
+// Vote is a recorded opinion: VoteYes, VoteNo, or Abstain.
+type Vote = learn.Vote
+
+// Vote values.
+const (
+	// Abstain marks a juror who was not asked or did not reply.
+	Abstain = learn.Abstain
+	// VoteNo is a negative opinion.
+	VoteNo = learn.VoteNo
+	// VoteYes is a positive opinion.
+	VoteYes = learn.VoteYes
+)
+
+// History is a record of past votings: one row of votes per task.
+type History = learn.History
+
+// NewHistory returns an empty history tracking the given number of jurors.
+func NewHistory(jurors int) (*History, error) { return learn.NewHistory(jurors) }
+
+// LearnFromGold estimates individual error rates by counting disagreements
+// with known ground truths (calibration tasks), with Laplace smoothing.
+// The result can be assigned directly to Juror.ErrorRate.
+func LearnFromGold(h *History, truths []Vote) ([]float64, error) {
+	return learn.FromGold(h, truths)
+}
+
+// LearnResult is the outcome of unsupervised error-rate estimation.
+type LearnResult = learn.EMResult
+
+// Learn estimates individual error rates from voting history alone —
+// no ground truth required — using expectation–maximization over the
+// binary symmetric-error model (the Dawid–Skene special case the paper
+// cites as "Learning from crowds"). Besides the error rates it returns
+// per-task posterior truths, usable as soft labels.
+func Learn(h *History) (*LearnResult, error) {
+	return learn.EM(h, learn.EMOptions{})
+}

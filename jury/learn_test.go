@@ -1,0 +1,90 @@
+package jury_test
+
+import (
+	"math"
+	"testing"
+
+	"juryselect/internal/randx"
+	"juryselect/jury"
+)
+
+// voteHistory simulates votes for jurors with the given error rates.
+func voteHistory(t *testing.T, rates []float64, tasks int, seed int64) (*jury.History, []jury.Vote) {
+	t.Helper()
+	src := randx.New(seed)
+	h, err := jury.NewHistory(len(rates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths := make([]jury.Vote, 0, tasks)
+	for task := 0; task < tasks; task++ {
+		truth := jury.VoteYes
+		if task%2 == 1 {
+			truth = jury.VoteNo
+		}
+		row := make([]jury.Vote, len(rates))
+		for i, e := range rates {
+			wrong := src.Bernoulli(e)
+			if (truth == jury.VoteYes) != wrong {
+				row[i] = jury.VoteYes
+			} else {
+				row[i] = jury.VoteNo
+			}
+		}
+		if err := h.Add(row); err != nil {
+			t.Fatal(err)
+		}
+		truths = append(truths, truth)
+	}
+	return h, truths
+}
+
+func TestLearnEndToEnd(t *testing.T) {
+	trueRates := []float64{0.1, 0.2, 0.3, 0.4, 0.25}
+	h, _ := voteHistory(t, trueRates, 2500, 5)
+	res, err := jury.Learn(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]jury.Juror, len(res.ErrorRates))
+	for i, e := range res.ErrorRates {
+		cands[i] = jury.Juror{ID: string(rune('a' + i)), ErrorRate: e}
+		if math.Abs(e-trueRates[i]) > 0.06 {
+			t.Errorf("juror %d: learned ε %.3f vs true %.3f", i, e, trueRates[i])
+		}
+	}
+	// Learned rates must be directly usable by the selector.
+	if _, err := jury.SelectAltruistic(cands); err != nil {
+		t.Fatalf("selection over learned rates failed: %v", err)
+	}
+}
+
+func TestLearnFromGoldEndToEnd(t *testing.T) {
+	trueRates := []float64{0.15, 0.35}
+	h, truths := voteHistory(t, trueRates, 3000, 6)
+	rates, err := jury.LearnFromGold(h, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range trueRates {
+		if math.Abs(rates[i]-want) > 0.04 {
+			t.Errorf("juror %d: gold ε %.3f vs true %.3f", i, rates[i], want)
+		}
+	}
+}
+
+func TestLearnErrorsSurface(t *testing.T) {
+	h, err := jury.NewHistory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jury.Learn(h); err == nil {
+		t.Error("expected error for empty history")
+	}
+	if _, err := jury.LearnFromGold(h, nil); err == nil {
+		t.Error("expected error for empty history")
+	}
+	if _, err := jury.NewHistory(-1); err == nil {
+		t.Error("expected error for negative juror count")
+	}
+}

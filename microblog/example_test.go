@@ -1,0 +1,33 @@
+package microblog_test
+
+import (
+	"fmt"
+
+	"juryselect/microblog"
+)
+
+// The full §4 pipeline on a handwritten corpus: parse retweet chains,
+// rank users, and estimate jurors.
+func ExampleCandidates() {
+	tweets := []microblog.Tweet{
+		{Author: "alice", Content: "RT @expert: is this rumor true?"},
+		{Author: "bob", Content: "RT @expert: earthquake near the coast"},
+		{Author: "carol", Content: "RT @alice: RT @expert: a chain"},
+	}
+	profiles := []microblog.Profile{
+		{Name: "expert", AccountAgeDays: 2000},
+		{Name: "alice", AccountAgeDays: 500},
+	}
+	res, err := microblog.Candidates(tweets, profiles, microblog.Options{Ranker: microblog.PageRank})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top=%s edges=%d\n", res.Candidates[0].ID, res.Graph.Edges)
+	// Output: top=expert edges=3
+}
+
+// RetweetChain extracts the "RT @user" markers of Algorithm 5.
+func ExampleRetweetChain() {
+	fmt.Println(microblog.RetweetChain("so true RT @bob: RT @carol: original"))
+	// Output: [bob carol]
+}

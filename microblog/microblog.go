@@ -1,0 +1,188 @@
+// Package microblog implements the parameter-estimation pipeline of the
+// paper's Section 4: from raw micro-blog ("tweet") records to candidate
+// jurors with estimated individual error rates and payment requirements,
+// ready for selection with package jury.
+//
+// The pipeline has four stages, each overridable through Options:
+//
+//  1. Parse "RT @user" retweet chains out of tweet text (Algorithm 5) and
+//     build the directed retweet graph, linking each ordered user pair once.
+//  2. Rank users by authority: HITS authority scores (Algorithm 6) or
+//     PageRank (Algorithm 7).
+//  3. Normalize scores into individual error rates
+//     ε = β^(−α(score−min)/(max−min)) with α = β = 10 (§4.1.3).
+//  4. Normalize account ages into payment requirements
+//     r = (age−min)/(max−min) (§4.2).
+//
+// For experimentation without a real dataset, SyntheticCorpus generates a
+// corpus whose retweet graph has the power-law in-degree profile real
+// micro-blog networks exhibit.
+package microblog
+
+import (
+	"errors"
+	"fmt"
+
+	"juryselect/internal/core"
+	"juryselect/internal/estimate"
+	"juryselect/internal/graph"
+	"juryselect/internal/randx"
+	"juryselect/internal/rank"
+	"juryselect/internal/twitter"
+	"juryselect/jury"
+)
+
+// Tweet is one micro-blog record: the author and the raw text, which may
+// contain "RT @user" markers.
+type Tweet = twitter.Record
+
+// Profile carries per-user attributes used for estimation.
+type Profile = twitter.Profile
+
+// GraphStats summarises the retweet graph built from a corpus.
+type GraphStats = graph.Stats
+
+// Ranker selects the user-ranking algorithm.
+type Ranker int
+
+const (
+	// HITS uses Kleinberg's authority scores (Algorithm 6); the paper
+	// adopts authority as the quality score.
+	HITS Ranker = iota
+	// PageRank uses PageRank scores (Algorithm 7).
+	PageRank
+)
+
+// String returns the ranker name.
+func (r Ranker) String() string {
+	switch r {
+	case HITS:
+		return "hits"
+	case PageRank:
+		return "pagerank"
+	default:
+		return fmt.Sprintf("Ranker(%d)", int(r))
+	}
+}
+
+// Normalization selects the score→error-rate mapping.
+type Normalization = estimate.Strategy
+
+// Normalization strategies.
+const (
+	// Exponential is the paper's §4.1.3 formula ε = β^(−α(s−min)/(max−min));
+	// the default.
+	Exponential = estimate.Exponential
+	// Linear maps scores to ε linearly; an alternative "reasonable
+	// measure" in the sense of §4, spreading reliability evenly instead of
+	// concentrating it in the score head.
+	Linear = estimate.Linear
+)
+
+// Options configures Candidates.
+type Options struct {
+	// Ranker selects HITS (default) or PageRank.
+	Ranker Ranker
+	// TopK keeps only the K best-scored users as candidates (the paper
+	// keeps 5,000 of 689,050). Zero keeps everyone.
+	TopK int
+	// Alpha and Beta are the §4.1.3 normalization factors; zero selects
+	// the paper's α = β = 10. Only used by the Exponential normalization.
+	Alpha, Beta float64
+	// Normalization selects the score→ε mapping (default Exponential).
+	Normalization Normalization
+}
+
+// Result is the pipeline output: candidates ready for jury selection plus
+// the intermediate artifacts useful for inspection.
+type Result struct {
+	// Candidates are the estimated jurors, ordered by descending quality
+	// score (i.e. ascending error rate).
+	Candidates []jury.Juror
+	// Graph summarises the retweet graph the estimates came from.
+	Graph GraphStats
+	// Scores maps each candidate ID to its raw ranking score.
+	Scores map[string]float64
+}
+
+// ErrNoRetweets reports a corpus from which no retweet relationship could
+// be extracted (the graph is empty, so no user can be ranked).
+var ErrNoRetweets = errors.New("microblog: no retweet relationships in corpus")
+
+// Candidates runs the full §4 pipeline over a corpus. Profiles supply
+// account ages for requirement estimation; users tweeting or retweeted
+// without a profile get age 0 (newest, requirement 0 after normalization).
+func Candidates(tweets []Tweet, profiles []Profile, opts Options) (*Result, error) {
+	g := graph.New()
+	for _, tw := range tweets {
+		for _, p := range twitter.RetweetPairs(tw) {
+			if err := g.AddEdge(p.From, p.To); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if g.NumEdges() == 0 {
+		return nil, ErrNoRetweets
+	}
+	var scores []float64
+	var err error
+	switch opts.Ranker {
+	case PageRank:
+		scores, err = rank.PageRank(g, rank.PageRankOptions{})
+	default:
+		scores, _, err = rank.HITS(g, rank.HITSOptions{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	top := rank.TopK(g, scores, opts.TopK)
+
+	ages := make(map[string]float64, len(profiles))
+	for _, p := range profiles {
+		ages[p.Name] = p.AccountAgeDays
+	}
+	scoreVec := make([]float64, len(top))
+	ageVec := make([]float64, len(top))
+	for i, r := range top {
+		scoreVec[i] = r.Score
+		ageVec[i] = ages[r.User]
+	}
+	alpha, beta := opts.Alpha, opts.Beta
+	if alpha == 0 {
+		alpha = estimate.DefaultAlpha
+	}
+	if beta == 0 {
+		beta = estimate.DefaultBeta
+	}
+	rates, err := estimate.ErrorRatesWith(opts.Normalization, scoreVec, alpha, beta)
+	if err != nil {
+		return nil, fmt.Errorf("microblog: normalizing scores: %w", err)
+	}
+	reqs, _, err := estimate.Requirements(ageVec)
+	if err != nil {
+		return nil, fmt.Errorf("microblog: normalizing ages: %w", err)
+	}
+
+	res := &Result{
+		Candidates: make([]jury.Juror, len(top)),
+		Graph:      g.ComputeStats(),
+		Scores:     make(map[string]float64, len(top)),
+	}
+	for i, r := range top {
+		res.Candidates[i] = core.Juror{ID: r.User, ErrorRate: rates[i], Cost: reqs[i]}
+		res.Scores[r.User] = r.Score
+	}
+	return res, nil
+}
+
+// RetweetChain extracts the "RT @user" chain from one tweet's text, in
+// order of appearance (Algorithm 5's marker scan).
+func RetweetChain(content string) []string { return twitter.RetweetChain(content) }
+
+// SyntheticCorpus generates a deterministic corpus of the given population
+// and size whose retweet graph is power-law shaped, plus matching profiles.
+// It is the stand-in for the paper's two-day Twitter sample; see DESIGN.md.
+func SyntheticCorpus(users, tweets int, seed int64) ([]Tweet, []Profile) {
+	c := twitter.Generate(twitter.GeneratorConfig{Users: users, Tweets: tweets}, randx.New(seed))
+	return c.Tweets, c.Profiles
+}

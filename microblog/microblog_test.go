@@ -1,0 +1,196 @@
+package microblog_test
+
+import (
+	"errors"
+	"testing"
+
+	"juryselect/microblog"
+)
+
+// handCorpus builds a tiny corpus with a clear authority: everyone retweets
+// "expert", and "expert" has the oldest account.
+func handCorpus() ([]microblog.Tweet, []microblog.Profile) {
+	tweets := []microblog.Tweet{
+		{Author: "alice", Content: "RT @expert: is this rumor true?"},
+		{Author: "bob", Content: "RT @expert: earthquake near the coast"},
+		{Author: "carol", Content: "RT @expert: so helpful"},
+		{Author: "dave", Content: "RT @alice: RT @expert: chain retweet"},
+		{Author: "erin", Content: "no markers, just text"},
+	}
+	profiles := []microblog.Profile{
+		{Name: "expert", AccountAgeDays: 3000},
+		{Name: "alice", AccountAgeDays: 1500},
+		{Name: "bob", AccountAgeDays: 800},
+		{Name: "carol", AccountAgeDays: 400},
+		{Name: "dave", AccountAgeDays: 100},
+		{Name: "erin", AccountAgeDays: 50},
+	}
+	return tweets, profiles
+}
+
+func TestCandidatesHITSPipeline(t *testing.T) {
+	tweets, profiles := handCorpus()
+	res, err := microblog.Candidates(tweets, profiles, microblog.Options{Ranker: microblog.HITS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The most-retweeted user must come out most reliable.
+	if res.Candidates[0].ID != "expert" {
+		t.Fatalf("top candidate = %s, want expert (candidates %v)",
+			res.Candidates[0].ID, res.Candidates)
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i].ErrorRate < res.Candidates[i-1].ErrorRate {
+			t.Fatal("candidates not ordered by ascending error rate")
+		}
+	}
+	for _, c := range res.Candidates {
+		if c.ErrorRate <= 0 || c.ErrorRate >= 1 {
+			t.Fatalf("candidate %s: ε = %g out of (0,1)", c.ID, c.ErrorRate)
+		}
+		if c.Cost < 0 || c.Cost > 1 {
+			t.Fatalf("candidate %s: cost = %g out of [0,1]", c.ID, c.Cost)
+		}
+	}
+	if res.Graph.Edges == 0 || res.Graph.Nodes == 0 {
+		t.Fatalf("graph stats empty: %+v", res.Graph)
+	}
+}
+
+func TestCandidatesPageRank(t *testing.T) {
+	tweets, profiles := handCorpus()
+	res, err := microblog.Candidates(tweets, profiles, microblog.Options{Ranker: microblog.PageRank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates[0].ID != "expert" {
+		t.Fatalf("PageRank top candidate = %s, want expert", res.Candidates[0].ID)
+	}
+}
+
+func TestCandidatesTopK(t *testing.T) {
+	tweets, profiles := handCorpus()
+	res, err := microblog.Candidates(tweets, profiles, microblog.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("TopK=2 returned %d candidates", len(res.Candidates))
+	}
+}
+
+func TestCandidatesNoRetweets(t *testing.T) {
+	tweets := []microblog.Tweet{{Author: "a", Content: "plain"}}
+	if _, err := microblog.Candidates(tweets, nil, microblog.Options{}); !errors.Is(err, microblog.ErrNoRetweets) {
+		t.Fatalf("err = %v, want ErrNoRetweets", err)
+	}
+}
+
+func TestCandidatesRequirementFromAge(t *testing.T) {
+	tweets, profiles := handCorpus()
+	res, err := microblog.Candidates(tweets, profiles, microblog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]float64{}
+	var minCost, maxCost float64 = 2, -1
+	for _, c := range res.Candidates {
+		byID[c.ID] = c.Cost
+		if c.Cost < minCost {
+			minCost = c.Cost
+		}
+		if c.Cost > maxCost {
+			maxCost = c.Cost
+		}
+	}
+	// Oldest account among candidates must be the most expensive; the
+	// normalization spans [0,1].
+	if byID["expert"] != maxCost {
+		t.Errorf("expert cost %g is not the maximum %g", byID["expert"], maxCost)
+	}
+	if minCost != 0 || maxCost != 1 {
+		t.Errorf("requirement range [%g,%g], want [0,1]", minCost, maxCost)
+	}
+}
+
+func TestRetweetChainExported(t *testing.T) {
+	chain := microblog.RetweetChain("RT @a: RT @b: x")
+	if len(chain) != 2 || chain[0] != "a" || chain[1] != "b" {
+		t.Fatalf("chain = %v", chain)
+	}
+}
+
+func TestSyntheticCorpusDeterministic(t *testing.T) {
+	t1, p1 := microblog.SyntheticCorpus(100, 500, 9)
+	t2, p2 := microblog.SyntheticCorpus(100, 500, 9)
+	if len(t1) != 500 || len(p1) != 100 {
+		t.Fatalf("sizes: %d tweets %d profiles", len(t1), len(p1))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+	if len(p2) != len(p1) {
+		t.Fatal("profiles not deterministic")
+	}
+}
+
+func TestEndToEndPipelineWithSyntheticCorpus(t *testing.T) {
+	tweets, profiles := microblog.SyntheticCorpus(500, 3000, 11)
+	res, err := microblog.Candidates(tweets, profiles, microblog.Options{TopK: 50, Ranker: microblog.PageRank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 50 {
+		t.Fatalf("candidates = %d, want 50", len(res.Candidates))
+	}
+	if res.Scores[res.Candidates[0].ID] == 0 {
+		t.Error("top candidate has zero score")
+	}
+}
+
+func TestRankerString(t *testing.T) {
+	if microblog.HITS.String() != "hits" || microblog.PageRank.String() != "pagerank" {
+		t.Error("ranker names")
+	}
+	if microblog.Ranker(9).String() != "Ranker(9)" {
+		t.Error("unknown ranker name")
+	}
+}
+
+func TestCandidatesLinearNormalization(t *testing.T) {
+	tweets, profiles := handCorpus()
+	expRes, err := microblog.Candidates(tweets, profiles, microblog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linRes, err := microblog.Candidates(tweets, profiles, microblog.Options{
+		Normalization: microblog.Linear,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same ordering under both normalizations; the exponential map must be
+	// more optimistic about non-top head users than the linear map.
+	if expRes.Candidates[0].ID != linRes.Candidates[0].ID {
+		t.Fatalf("top candidate differs: %s vs %s",
+			expRes.Candidates[0].ID, linRes.Candidates[0].ID)
+	}
+	for i := range linRes.Candidates {
+		if linRes.Candidates[i].ErrorRate <= 0 || linRes.Candidates[i].ErrorRate >= 1 {
+			t.Fatalf("linear ε out of range: %g", linRes.Candidates[i].ErrorRate)
+		}
+	}
+	// Candidate 1 (alice) has a score strictly between min and max, where
+	// the two maps genuinely differ; the exponential map must be more
+	// optimistic there. (Candidates at the score minimum clamp to ≈1 under
+	// both maps and are uninformative.)
+	if expRes.Candidates[1].ErrorRate >= linRes.Candidates[1].ErrorRate {
+		t.Errorf("exponential second-rank ε %g not below linear %g",
+			expRes.Candidates[1].ErrorRate, linRes.Candidates[1].ErrorRate)
+	}
+}
