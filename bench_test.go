@@ -22,9 +22,12 @@
 package juryselect_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"juryselect/internal/core"
+	"juryselect/internal/engine"
 	"juryselect/internal/experiments"
 	"juryselect/internal/jer"
 	"juryselect/internal/randx"
@@ -132,3 +135,77 @@ func BenchmarkSelectOpt_n18(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkSelectOptParallel_n18(b *testing.B) {
+	cands := randomJurors(18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectOptParallel(cands, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Batch JER engine benchmarks: the serial loop the engine replaces versus
+// the worker-pool and warm-memo paths, on the same workload. The parallel
+// figure scales with cores (values stay byte-identical — see
+// TestEvaluateAllByteIdenticalToSerial in jury); the cached figure shows
+// what multiset memoization buys when juries repeat. At n=11 the cached
+// run matches serial by design: juries below the engine's
+// CacheMinJurySize threshold bypass the memo because recomputing the DP
+// is cheaper than the key build + lookup; at n=101 the memo wins.
+//
+//	go test -bench=BenchmarkEvaluateAll -cpu 1,8
+func benchmarkJuries(count, size int) [][]float64 {
+	src := randx.New(17)
+	juries := make([][]float64, count)
+	for i := range juries {
+		juries[i] = src.ErrorRates(size, 0.3, 0.15)
+	}
+	return juries
+}
+
+func BenchmarkEvaluateAll(b *testing.B) {
+	for _, size := range []int{11, 101} {
+		juries := benchmarkJuries(1000, size)
+		b.Run(fmt.Sprintf("serial/n%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, rates := range juries {
+					if _, err := jer.Compute(rates, jer.Auto); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/n%d", size), func(b *testing.B) {
+			eng := engine.New(engine.Options{CacheSize: -1})
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.EvaluateAll(ctx, juries) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cached/n%d", size), func(b *testing.B) {
+			eng := engine.New(engine.Options{})
+			ctx := context.Background()
+			eng.EvaluateAll(ctx, juries) // warm the memo
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.EvaluateAll(ctx, juries) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngineAblation(b *testing.B) { benchExperiment(b, "ablation-engine") }

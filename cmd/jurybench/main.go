@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jurybench [-exp table2,fig3a,...|all] [-quick] [-seed N] [-list]
+//	jurybench [-exp table2,fig3a,...|all] [-quick] [-seed N] [-workers N] [-list]
 //
 // Each experiment prints the rows/series the corresponding paper artifact
 // reports (Table 2 and Figures 3(a)–3(i)) plus the ablation studies from
@@ -26,16 +26,18 @@ func main() {
 	flag.StringVar(&cfg.exp, "exp", "all", "comma-separated experiment ids, or 'all'")
 	flag.BoolVar(&cfg.quick, "quick", false, "run shrunk workloads (CI scale)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for synthetic workloads")
+	flag.IntVar(&cfg.workers, "workers", 0, "engine worker pool size (0 = all cores); results are identical for every value")
 	flag.BoolVar(&cfg.list, "list", false, "list experiment ids and exit")
 	flag.Parse()
 	os.Exit(runBench(cfg, os.Stdout, os.Stderr))
 }
 
 type benchConfig struct {
-	exp   string
-	quick bool
-	seed  int64
-	list  bool
+	exp     string
+	quick   bool
+	seed    int64
+	workers int
+	list    bool
 }
 
 func runBench(cfg benchConfig, out, errOut io.Writer) int {
@@ -51,6 +53,7 @@ func runBench(cfg benchConfig, out, errOut io.Writer) int {
 		ecfg = experiments.QuickConfig()
 	}
 	ecfg.Seed = cfg.seed
+	ecfg.Workers = cfg.workers
 
 	ids := experiments.List()
 	if cfg.exp != "all" {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	juryselect -input jurors.csv [-format csv|json] [-model altr|pay]
-//	           [-budget B] [-exact] [-json]
+//	           [-budget B] [-exact] [-workers N] [-json]
 //
 // CSV input has a header and rows "id,error_rate[,cost]"; JSON input is an
 // array of {"id","error_rate","cost"} objects. Pass "-" to read standard
@@ -39,12 +39,13 @@ func main() {
 		model   = flag.String("model", "altr", "crowdsourcing model: altr or pay")
 		budget  = flag.Float64("budget", 0, "budget for the pay model")
 		exact   = flag.Bool("exact", false, "use exact enumeration instead of the greedy (pay model, ≤26 candidates)")
+		workers = flag.Int("workers", 0, "worker pool for the exact enumeration (0 = all cores); the result is identical for every value")
 		jsonOut = flag.Bool("json", false, "emit the selection report as JSON")
 	)
 	flag.Parse()
 	if err := run(runConfig{
 		input: *input, format: *format, model: *model,
-		budget: *budget, exact: *exact, jsonOut: *jsonOut,
+		budget: *budget, exact: *exact, workers: *workers, jsonOut: *jsonOut,
 	}, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "juryselect: %v\n", err)
 		os.Exit(1)
@@ -55,6 +56,7 @@ type runConfig struct {
 	input, format, model string
 	budget               float64
 	exact                bool
+	workers              int
 	jsonOut              bool
 }
 
@@ -89,10 +91,13 @@ func run(cfg runConfig, stdin io.Reader, out io.Writer) error {
 	var sel jury.Selection
 	switch cfg.model {
 	case "altr":
+		// The incremental sweep is already the fastest altruistic path on
+		// any core count (O(N²) total versus O(N³) for the parallelized
+		// per-size evaluations), so -workers does not apply here.
 		sel, err = jury.SelectAltruistic(cands)
 	case "pay":
 		if cfg.exact {
-			sel, err = jury.SelectExact(cands, cfg.budget)
+			sel, err = jury.SelectParallelExact(cands, cfg.budget, jury.BatchOptions{Workers: cfg.workers})
 		} else {
 			sel, err = jury.SelectBudgeted(cands, cfg.budget)
 		}

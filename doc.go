@@ -5,12 +5,15 @@
 // Import the public API packages:
 //
 //	juryselect/jury      — JER computation, AltrALG/PayALG/exact selection,
-//	                       majority voting and task simulation
+//	                       the concurrent batch engine (EvaluateAll,
+//	                       SelectParallel*), majority voting and simulation
 //	juryselect/microblog — tweets → retweet graph → HITS/PageRank →
 //	                       error-rate/requirement estimation pipeline
 //
 // The benchmark harness regenerating every table and figure of the paper
 // lives in bench_test.go (go test -bench=.) and in cmd/jurybench (full
-// paper-scale runs). See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// paper-scale runs); cmd/juryselect selects juries from CSV/JSON files.
+// See README.md for a quick start, DESIGN.md for the system inventory and
+// the engine's concurrency model, and EXPERIMENTS.md for paper-vs-measured
+// results.
 package juryselect

@@ -1,0 +1,3 @@
+module juryselect
+
+go 1.22

@@ -146,6 +146,12 @@ func totalCost(jurors []Juror) float64 {
 	return sum
 }
 
+// SortedByErrorRate returns a copy of cands sorted ascending by ε with
+// ties broken by ID — the ordering whose prefixes are size-wise optimal
+// under AltrM (Lemma 3). Exposed for callers that evaluate the prefix
+// juries themselves, e.g. the batch engine's parallel altruistic solver.
+func SortedByErrorRate(cands []Juror) []Juror { return sortByErrorRate(cands) }
+
 // sortByErrorRate returns a copy of cands sorted ascending by ε, breaking
 // ties by ID for determinism.
 func sortByErrorRate(cands []Juror) []Juror {

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SelectOptParallel is SelectOpt sharded across a bounded worker pool: the
+// include/exclude decisions for the first k candidates are fixed per shard
+// (2^k shards), and each shard runs the incremental depth-first
+// enumeration over the remaining candidates with its own wrong-vote
+// distribution seeded from the fixed prefix. Shards are independent, so
+// the enumeration parallelizes with no shared mutable state beyond the
+// work counter.
+//
+// Determinism: the shard set, each shard's enumeration order, and the
+// merge order are all fixed, so the result is bit-for-bit identical for
+// every workers value (including 1) and across runs. Shards are merged in
+// the serial algorithm's visit order with the same strict-inequality rule,
+// so ties resolve to the jury SelectOpt would have kept. (The absolute JER
+// at a leaf may differ from SelectOpt's by float round-off in the last
+// ulp, because the incremental distribution reaches the leaf through a
+// different append/pop history; the selected jury agrees except on
+// sub-round-off ties between distinct juries.)
+//
+// workers ≤ 0 selects runtime.GOMAXPROCS(0).
+func SelectOptParallel(cands []Juror, budget float64, workers int) (Selection, error) {
+	if err := ValidateCandidates(cands); err != nil {
+		return Selection{}, err
+	}
+	if budget < 0 {
+		return Selection{}, errors.New("core: negative budget")
+	}
+	if len(cands) > MaxOptCandidates {
+		return Selection{}, fmt.Errorf("core: SelectOptParallel supports at most %d candidates, got %d",
+			MaxOptCandidates, len(cands))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	n := len(cands)
+	// Fixed shard granularity, independent of the worker count, so the
+	// result (including float round-off) never depends on the hardware:
+	// 256 shards give good load balance up to MaxOptCandidates while each
+	// shard still amortizes its setup over 2^(n-8) leaves.
+	k := n / 2
+	if n >= 16 {
+		k = 8
+	}
+	shards := 1 << uint(k)
+	if workers > shards {
+		workers = shards
+	}
+
+	results := make([]shardBest, shards)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				results[s] = runOptShard(cands, budget, k, s)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in serial visit order: shard s encodes candidate i's inclusion
+	// in bit (k-1-i), so ascending s reproduces the exclude-first DFS
+	// order of SelectOpt and the strict < keeps the first-visited optimum.
+	best := shardBest{bestJER: 2}
+	evals := 0
+	for _, r := range results {
+		evals += r.evals
+		if r.bestMask != 0 && r.bestJER < best.bestJER {
+			best.bestJER = r.bestJER
+			best.bestMask = r.bestMask
+		}
+	}
+	if best.bestMask == 0 {
+		return Selection{}, ErrNoFeasibleJury
+	}
+	sel := Selection{JER: best.bestJER, Evaluations: evals}
+	for i := range cands {
+		if best.bestMask&(1<<uint(i)) != 0 {
+			sel.Jurors = append(sel.Jurors, cands[i])
+		}
+	}
+	sel.Cost = totalCost(sel.Jurors)
+	return sel, nil
+}
+
+type shardBest struct {
+	bestMask uint32
+	bestJER  float64
+	evals    int
+}
+
+// runOptShard enumerates the juries whose first-k membership matches shard
+// id s (candidate i included iff bit k-1-i of s is set). An infeasible
+// prefix — its cost alone exceeds the budget — corresponds to a subtree
+// the serial algorithm never enters, so the shard contributes nothing.
+func runOptShard(cands []Juror, budget float64, k, s int) shardBest {
+	e := optEnum{cands: cands, budget: budget, bestJER: 2}
+	cost := 0.0
+	for i := 0; i < k; i++ {
+		if s&(1<<uint(k-1-i)) == 0 {
+			continue
+		}
+		cost += cands[i].Cost
+		if cost > budget {
+			return shardBest{bestJER: 2}
+		}
+		if err := e.dist.Append(cands[i].ErrorRate); err != nil {
+			// Rates were validated up front; Append cannot fail here.
+			panic(err)
+		}
+		e.mask |= 1 << uint(i)
+	}
+	e.dfs(k, cost)
+	return shardBest{bestMask: e.bestMask, bestJER: e.bestJER, evals: e.evals}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"juryselect/internal/jer"
+	"juryselect/internal/randx"
+)
+
+func optTestJurors(n int, seed int64) []Juror {
+	src := randx.New(seed)
+	rates := src.ErrorRates(n, 0.3, 0.15)
+	costs := src.Requirements(n, 0.2, 0.15)
+	out := make([]Juror, n)
+	for i := range out {
+		out[i] = Juror{ID: string(rune('a' + i)), ErrorRate: rates[i], Cost: costs[i]}
+	}
+	return out
+}
+
+// TestSelectOptParallelMatchesSerial asserts the sharded enumeration
+// selects the same jury as the serial SelectOpt across sizes and budgets.
+func TestSelectOptParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9, 14, 17} {
+		for _, budget := range []float64{0.3, 1, 5, 1e18} {
+			cands := optTestJurors(n, int64(n))
+			serial, errS := SelectOpt(cands, budget)
+			par, errP := SelectOptParallel(cands, budget, 4)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("n=%d B=%g: error mismatch %v vs %v", n, budget, errS, errP)
+			}
+			if errS != nil {
+				continue
+			}
+			if got, want := par.IDs(), serial.IDs(); len(got) != len(want) {
+				t.Fatalf("n=%d B=%g: jury size %d vs %d", n, budget, len(got), len(want))
+			} else {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d B=%g: jury %v vs %v", n, budget, got, want)
+					}
+				}
+			}
+			if math.Abs(par.JER-serial.JER) > 1e-12 {
+				t.Fatalf("n=%d B=%g: JER %v vs %v", n, budget, par.JER, serial.JER)
+			}
+			if par.Evaluations != serial.Evaluations {
+				t.Fatalf("n=%d B=%g: evaluations %d vs %d", n, budget, par.Evaluations, serial.Evaluations)
+			}
+		}
+	}
+}
+
+// TestSelectOptParallelDeterministicAcrossWorkers asserts the result is
+// bit-for-bit identical for every worker count, which is the property the
+// batch engine's documentation promises.
+func TestSelectOptParallelDeterministicAcrossWorkers(t *testing.T) {
+	cands := optTestJurors(18, 42)
+	base, err := SelectOptParallel(cands, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 0} {
+		got, err := SelectOptParallel(cands, 2, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.JER) != math.Float64bits(base.JER) {
+			t.Fatalf("workers=%d: JER %v != %v (not byte-identical)", w, got.JER, base.JER)
+		}
+		if len(got.Jurors) != len(base.Jurors) {
+			t.Fatalf("workers=%d: size %d != %d", w, len(got.Jurors), len(base.Jurors))
+		}
+		for i := range got.Jurors {
+			if got.Jurors[i] != base.Jurors[i] {
+				t.Fatalf("workers=%d: juror %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestSelectOptParallelErrors mirrors SelectOpt's failure modes.
+func TestSelectOptParallelErrors(t *testing.T) {
+	if _, err := SelectOptParallel(nil, 1, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("want ErrNoCandidates, got %v", err)
+	}
+	if _, err := SelectOptParallel(optTestJurors(3, 1), -1, 0); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := SelectOptParallel(optTestJurors(MaxOptCandidates+1, 1), 1, 0); err == nil {
+		t.Fatal("oversized candidate set accepted")
+	}
+	costly := []Juror{{ID: "x", ErrorRate: 0.2, Cost: 5}}
+	if _, err := SelectOptParallel(costly, 1, 0); !errors.Is(err, ErrNoFeasibleJury) {
+		t.Fatalf("want ErrNoFeasibleJury, got %v", err)
+	}
+}
+
+// TestSelectPayEvaluatorOverride asserts the pluggable evaluator is used
+// and reproduces the default result when it computes the same values.
+func TestSelectPayEvaluatorOverride(t *testing.T) {
+	cands := optTestJurors(20, 9)
+	def, err := SelectPay(cands, PayOptions{Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	over, err := SelectPay(cands, PayOptions{Budget: 2, Evaluate: func(rates []float64) (float64, error) {
+		calls++
+		return jer.Compute(rates, jer.Auto)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("override evaluator never called")
+	}
+	if math.Float64bits(def.JER) != math.Float64bits(over.JER) || def.Size() != over.Size() {
+		t.Fatalf("override changed result: %v/%d vs %v/%d", def.JER, def.Size(), over.JER, over.Size())
+	}
+}

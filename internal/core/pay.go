@@ -40,6 +40,15 @@ type PayOptions struct {
 	// Pairing selects the pair-slot policy; the default PairBlocking is
 	// the published pseudocode.
 	Pairing PairPolicy
+	// Evaluate optionally overrides the exact JER evaluator used for the
+	// admission checks — e.g. an engine-cached evaluator, so the repeated
+	// sub-juries of a budget sweep are computed once. nil means
+	// jer.Compute with opts.Algorithm. The override must be a
+	// deterministic exact JER of the rate multiset; it may differ from
+	// jer.Compute(rates) in the last ulp (e.g. the engine evaluates
+	// memoized juries in canonical order), which can flip admissions only
+	// on sub-round-off ties.
+	Evaluate func(rates []float64) (float64, error)
 }
 
 // SelectPay solves JSP under the Pay-as-you-go Model with the greedy
@@ -62,6 +71,12 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 		return Selection{}, errors.New("core: negative budget")
 	}
 	sorted := sortByCostQuality(cands)
+	eval := opts.Evaluate
+	if eval == nil {
+		eval = func(rates []float64) (float64, error) {
+			return jer.Compute(rates, opts.Algorithm)
+		}
+	}
 
 	// Lines 3–5: find the first candidate whose requirement fits the
 	// budget on its own.
@@ -80,7 +95,7 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 	jury := []Juror{sorted[seed]}
 	rates := []float64{sorted[seed].ErrorRate}
 	spent := sorted[seed].Cost
-	curJER, err := jer.Compute(rates, opts.Algorithm)
+	curJER, err := eval(rates)
 	if err != nil {
 		return Selection{}, err
 	}
@@ -103,7 +118,7 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 			continue
 		}
 		extended := append(append([]float64{}, rates...), pair.ErrorRate, cand.ErrorRate)
-		v, err := jer.Compute(extended, opts.Algorithm)
+		v, err := eval(extended)
 		if err != nil {
 			return Selection{}, err
 		}

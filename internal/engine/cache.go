@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+)
+
+// canonicalize returns the rates sorted ascending (the canonical member
+// order) and their memo key: each sorted rate as its 8-byte IEEE-754
+// pattern. Two juries whose members can be paired up with exactly equal
+// rates — regardless of member order — share a key, which is exactly the
+// equivalence class under which JER is invariant (Definition 6 depends
+// only on the rates). Memoized evaluations are computed on the canonical
+// order too: jer.Compute's floating-point rounding is order-sensitive in
+// the last ulp, so evaluating the given order would make the cached value
+// depend on which permutation a worker happened to compute first.
+func canonicalize(rates []float64) (sorted []float64, key string) {
+	sorted = make([]float64, len(rates))
+	copy(sorted, rates)
+	sort.Float64s(sorted)
+	buf := make([]byte, 8*len(sorted))
+	for i, r := range sorted {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(r))
+	}
+	return sorted, string(buf)
+}
+
+// lruCache is a mutex-guarded LRU map from multiset keys to JER values.
+// The jury workloads this serves are read-mostly with high hit rates
+// (greedy solvers re-evaluate the same sub-juries every round), so a
+// single mutex around a map + intrusive list is simple and sufficient;
+// shard it if profiles ever show contention.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key string
+	val float64
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		items: make(map[string]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+func (c *lruCache) get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -62,6 +62,16 @@ type Config struct {
 	// Ablations.
 	AblationJERSizes []int // jury sizes for the DP/CBA crossover
 	MonteCarloTrials int   // voting-simulation sample size
+
+	// Workers bounds the engine worker pool used by the parallel drivers
+	// (exact enumeration shards, batch JER scoring). Zero selects
+	// runtime.GOMAXPROCS(0); results are identical for every value.
+	Workers int
+
+	// Batch-engine ablation: the batch-scoring workload of ablation-engine.
+	BatchJuries   int // number of candidate juries scored per pass
+	BatchJurySize int // jurors per candidate jury
+	BatchDistinct int // distinct jury multisets (the rest repeat, for the memo)
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -99,6 +109,10 @@ func DefaultConfig() Config {
 
 		AblationJERSizes: []int{63, 255, 1023, 4095},
 		MonteCarloTrials: 200000,
+
+		BatchJuries:   2000,
+		BatchJurySize: 51,
+		BatchDistinct: 200,
 	}
 }
 
@@ -122,6 +136,8 @@ func QuickConfig() Config {
 	cfg.TwitterCandidates = 12
 	cfg.AblationJERSizes = []int{63, 255}
 	cfg.MonteCarloTrials = 20000
+	cfg.BatchJuries = 400
+	cfg.BatchDistinct = 50
 	return cfg
 }
 
@@ -208,6 +224,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MonteCarloTrials == 0 {
 		c.MonteCarloTrials = d.MonteCarloTrials
+	}
+	// c.Workers stays as given: zero means "use every core".
+	if c.BatchJuries == 0 {
+		c.BatchJuries = d.BatchJuries
+	}
+	if c.BatchJurySize == 0 {
+		c.BatchJurySize = d.BatchJurySize
+	}
+	if c.BatchDistinct == 0 {
+		c.BatchDistinct = d.BatchDistinct
 	}
 	return c
 }

@@ -12,6 +12,7 @@ func TestListContainsAllExperiments(t *testing.T) {
 		"table2", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
 		"fig3g", "fig3h", "fig3i",
 		"ablation-jer", "ablation-inc", "ablation-mc", "ablation-baselines", "ablation-pair", "ablation-seeds", "ablation-wmv",
+		"ablation-engine",
 	}
 	have := map[string]bool{}
 	for _, id := range List() {
@@ -218,7 +219,7 @@ func TestFig3iPaySizeNeverBelowOne(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	cfg := QuickConfig()
-	for _, id := range []string{"ablation-jer", "ablation-inc", "ablation-mc", "ablation-baselines", "ablation-pair", "ablation-seeds", "ablation-wmv"} {
+	for _, id := range []string{"ablation-jer", "ablation-inc", "ablation-mc", "ablation-baselines", "ablation-pair", "ablation-seeds", "ablation-wmv", "ablation-engine"} {
 		res, err := Run(id, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -41,7 +41,7 @@ func runAblationPair(cfg Config) (*Result, error) {
 			}
 		}
 		budget := 0.3 + tsrc.Float64()*1.2
-		opt, err := core.SelectOpt(cands, budget)
+		opt, err := core.SelectOptParallel(cands, budget, cfg.Workers)
 		if errors.Is(err, core.ErrNoFeasibleJury) {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"juryselect/internal/core"
+	"juryselect/internal/engine"
 	"juryselect/internal/randx"
 	"juryselect/internal/tablefmt"
 )
@@ -34,12 +35,13 @@ func runAblationSeeds(cfg Config) (*Result, error) {
 				cfg.OptReqMean, cfg.OptReqSigma)
 			hits := 0
 			gap := 0.0
+			eng := engine.New(engine.Options{Workers: cfg.Workers})
 			for _, b := range cfg.OptBudgets {
-				appx, err := core.SelectPay(cands, core.PayOptions{Budget: b})
+				appx, err := core.SelectPay(cands, core.PayOptions{Budget: b, Evaluate: eng.Evaluate})
 				if err != nil {
 					return nil, err
 				}
-				opt, err := core.SelectOpt(cands, b)
+				opt, err := core.SelectOptParallel(cands, b, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"juryselect/internal/core"
+	"juryselect/internal/engine"
 	"juryselect/internal/estimate"
 	"juryselect/internal/graph"
 	"juryselect/internal/jer"
@@ -200,6 +201,7 @@ func runFig3h(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	var jerNote float64 = -1
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
 	for _, frac := range cfg.TwitterBudgetFracs {
 		row := []interface{}{0.0, frac}
 		var budgets [2]float64
@@ -211,11 +213,11 @@ func runFig3h(cfg Config) (*Result, error) {
 			}
 			budget := frac * m
 			budgets[pi] = budget
-			appx, err := core.SelectPay(pool, core.PayOptions{Budget: budget})
+			appx, err := core.SelectPay(pool, core.PayOptions{Budget: budget, Evaluate: eng.Evaluate})
 			if err != nil {
 				return nil, err
 			}
-			opt, err := core.SelectOpt(pool, budget)
+			opt, err := core.SelectOptParallel(pool, budget, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -279,14 +281,15 @@ func runFig3i(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
 	for _, b := range cfg.TwitterSizeBudgets {
 		sizes := [4]float64{}
 		for pi, pool := range pools {
-			appx, err := core.SelectPay(pool, core.PayOptions{Budget: b})
+			appx, err := core.SelectPay(pool, core.PayOptions{Budget: b, Evaluate: eng.Evaluate})
 			if err != nil {
 				return nil, err
 			}
-			opt, err := core.SelectOpt(pool, b)
+			opt, err := core.SelectOptParallel(pool, b, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,198 @@
+package jury_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"juryselect/internal/core"
+	"juryselect/internal/jer"
+	"juryselect/internal/randx"
+	"juryselect/jury"
+)
+
+func batchJuries(n, size int, seed int64) [][]jury.Juror {
+	src := randx.New(seed)
+	out := make([][]jury.Juror, n)
+	for i := range out {
+		rates := src.ErrorRates(size, 0.3, 0.15)
+		j := make([]jury.Juror, size)
+		for k := range j {
+			j[k] = jury.Juror{ErrorRate: rates[k]}
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// TestEvaluateAllByteIdenticalToSerial is the engine's core contract: the
+// concurrent batch returns, in input order, exactly the values a serial
+// jury.JER loop produces — byte-identical, for every worker count. Run
+// with -race this also exercises the worker pool for data races.
+func TestEvaluateAllByteIdenticalToSerial(t *testing.T) {
+	juries := batchJuries(300, 11, 5)
+	for _, workers := range []int{1, 2, 7, 16} {
+		res := jury.EvaluateAllOpts(context.Background(), juries, jury.BatchOptions{Workers: workers})
+		if len(res) != len(juries) {
+			t.Fatalf("workers=%d: %d results for %d juries", workers, len(res), len(juries))
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("workers=%d jury %d: %v", workers, i, r.Err)
+			}
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d carries index %d", workers, i, r.Index)
+			}
+			rates := make([]float64, len(juries[i]))
+			for k, j := range juries[i] {
+				rates[k] = j.ErrorRate
+			}
+			want, err := jury.JER(rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(r.JER) != math.Float64bits(want) {
+				t.Fatalf("workers=%d jury %d: batch %v != serial %v", workers, i, r.JER, want)
+			}
+		}
+	}
+}
+
+// TestEngineCacheAcrossCalls asserts a shared engine memoizes juries
+// across batches and across member orderings.
+func TestEngineCacheAcrossCalls(t *testing.T) {
+	e := jury.NewEngine(jury.BatchOptions{Workers: 4})
+	juries := batchJuries(50, 21, 8) // above the memo's small-jury bypass
+	ctx := context.Background()
+	if res := e.EvaluateAll(ctx, juries); res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	evalsAfterFirst, _ := e.CacheStats()
+	if res := e.EvaluateAll(ctx, juries); res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	evals, hits := e.CacheStats()
+	if evals != evalsAfterFirst {
+		t.Fatalf("second batch recomputed: %d evaluations, want %d", evals, evalsAfterFirst)
+	}
+	if hits < int64(len(juries)) {
+		t.Fatalf("only %d cache hits for a fully repeated batch of %d", hits, len(juries))
+	}
+}
+
+// TestSelectParallelAltruisticMatchesFaithful compares against the
+// paper-faithful serial Algorithm 3 with the same evaluator: the parallel
+// variant evaluates identical prefix slices, so values and the selected
+// jury must match exactly.
+func TestSelectParallelAltruisticMatchesFaithful(t *testing.T) {
+	src := randx.New(21)
+	rates := src.ErrorRates(201, 0.35, 0.12)
+	cands := make([]jury.Juror, len(rates))
+	for i := range cands {
+		cands[i] = jury.Juror{ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), ErrorRate: rates[i]}
+	}
+	serial, err := core.SelectAltr(cands, core.AltrOptions{Algorithm: jer.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		par, err := jury.SelectParallelAltruistic(cands, jury.BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(par.JER) != math.Float64bits(serial.JER) {
+			t.Fatalf("workers=%d: JER %v != faithful %v", workers, par.JER, serial.JER)
+		}
+		if par.Size() != serial.Size() {
+			t.Fatalf("workers=%d: size %d != faithful %d", workers, par.Size(), serial.Size())
+		}
+		if par.Evaluations != (len(cands)+1)/2 {
+			t.Fatalf("workers=%d: %d evaluations, want one per odd prefix", workers, par.Evaluations)
+		}
+	}
+}
+
+// TestSelectParallelExactMatchesSerial compares the sharded enumeration
+// against the public SelectExact on the motivation example and a random
+// pool.
+func TestSelectParallelExactMatchesSerial(t *testing.T) {
+	src := randx.New(33)
+	rates := src.ErrorRates(16, 0.3, 0.1)
+	costs := src.Requirements(16, 0.2, 0.1)
+	cands := make([]jury.Juror, 16)
+	for i := range cands {
+		cands[i] = jury.Juror{ID: string(rune('A' + i)), ErrorRate: rates[i], Cost: costs[i]}
+	}
+	for _, budget := range []float64{0.5, 1, 3} {
+		serial, errS := jury.SelectExact(cands, budget)
+		par, errP := jury.SelectParallelExact(cands, budget, jury.BatchOptions{})
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("budget %g: %v vs %v", budget, errS, errP)
+		}
+		if errS != nil {
+			continue
+		}
+		ids1, ids2 := serial.IDs(), par.IDs()
+		if len(ids1) != len(ids2) {
+			t.Fatalf("budget %g: sizes %d vs %d", budget, len(ids1), len(ids2))
+		}
+		for i := range ids1 {
+			if ids1[i] != ids2[i] {
+				t.Fatalf("budget %g: juries %v vs %v", budget, ids1, ids2)
+			}
+		}
+	}
+}
+
+// TestSelectParallelBudgetedMatchesSerial asserts the engine-cached
+// greedy returns the same jury as the plain SelectBudgeted (memo-served
+// evaluations run in canonical member order, so JER values may drift by
+// float round-off — never more than ~1 ulp), and that a shared engine
+// turns a budget sweep's repeated sub-juries into hits.
+func TestSelectParallelBudgetedMatchesSerial(t *testing.T) {
+	src := randx.New(44)
+	rates := src.ErrorRates(100, 0.3, 0.1)
+	costs := src.Requirements(100, 0.3, 0.2)
+	cands := make([]jury.Juror, 100)
+	for i := range cands {
+		cands[i] = jury.Juror{ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), ErrorRate: rates[i], Cost: costs[i]}
+	}
+	// CacheMinJurySize -1 memoizes every size: the greedy's sub-juries
+	// here start small, and the test verifies memo semantics, not tuning.
+	e := jury.NewEngine(jury.BatchOptions{CacheMinJurySize: -1})
+	for _, budget := range []float64{1, 2, 3} {
+		serial, err := jury.SelectBudgeted(cands, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := e.SelectBudgeted(cands, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(serial.JER-cached.JER) > 1e-12*serial.JER || serial.Size() != cached.Size() {
+			t.Fatalf("budget %g: %v/%d vs %v/%d", budget,
+				serial.JER, serial.Size(), cached.JER, cached.Size())
+		}
+	}
+	if _, hits := e.CacheStats(); hits == 0 {
+		t.Fatal("budget sweep produced no cache hits; the memo is not being consulted")
+	}
+}
+
+// TestEvaluateAllEmptyAndInvalid covers edge inputs through the public
+// wrapper.
+func TestEvaluateAllEmptyAndInvalid(t *testing.T) {
+	if res := jury.EvaluateAll(context.Background(), nil); len(res) != 0 {
+		t.Fatalf("nil input produced %d results", len(res))
+	}
+	res := jury.EvaluateAll(context.Background(), [][]jury.Juror{
+		{{ErrorRate: 0.2}},
+		{},
+	})
+	if res[0].Err != nil {
+		t.Fatalf("valid jury errored: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Fatal("empty jury did not error")
+	}
+}

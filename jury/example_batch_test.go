@@ -1,0 +1,28 @@
+package jury_test
+
+import (
+	"context"
+	"fmt"
+
+	"juryselect/jury"
+)
+
+// EvaluateAll scores many candidate juries at once: the exact JER of each
+// jury is computed on a bounded worker pool, with results returned in
+// input order and values byte-identical to evaluating each jury serially.
+// The juries here are rows of the paper's Table 2.
+func ExampleEvaluateAll() {
+	juries := [][]jury.Juror{
+		{{ID: "A", ErrorRate: 0.1}, {ID: "B", ErrorRate: 0.2}, {ID: "C", ErrorRate: 0.2}},
+		{{ID: "C", ErrorRate: 0.2}, {ID: "D", ErrorRate: 0.3}, {ID: "E", ErrorRate: 0.3}},
+		{{ID: "A", ErrorRate: 0.1}, {ID: "B", ErrorRate: 0.2}, {ID: "C", ErrorRate: 0.2},
+			{ID: "D", ErrorRate: 0.3}, {ID: "E", ErrorRate: 0.3}},
+	}
+	for _, r := range jury.EvaluateAll(context.Background(), juries) {
+		fmt.Printf("jury %d: JER %.5f\n", r.Index, r.JER)
+	}
+	// Output:
+	// jury 0: JER 0.07200
+	// jury 1: JER 0.17400
+	// jury 2: JER 0.07036
+}
