@@ -66,6 +66,11 @@ func randomRates(n int) []float64 {
 	return randx.New(7).ErrorRates(n, 0.3, 0.15)
 }
 
+// The JER_DP/JER_CBA benchmarks exercise the pooled-kernel path behind
+// jer.Compute; 0 allocs/op in steady state is the PR 2 tentpole invariant
+// and is guarded in CI (bench-smoke job). JERKernel_* holds one Evaluator
+// directly — the shape hot loops (engine workers, solver scans) use —
+// which additionally skips the sync.Pool round-trip.
 func BenchmarkJER_DP_n101(b *testing.B)   { benchJER(b, jer.DPAlgo, 101) }
 func BenchmarkJER_DP_n1001(b *testing.B)  { benchJER(b, jer.DPAlgo, 1001) }
 func BenchmarkJER_CBA_n101(b *testing.B)  { benchJER(b, jer.CBAAlgo, 101) }
@@ -74,12 +79,27 @@ func BenchmarkJER_CBA_n8191(b *testing.B) { benchJER(b, jer.CBAAlgo, 8191) }
 func BenchmarkJER_Enum_n15(b *testing.B)  { benchJER(b, jer.EnumAlgo, 15) }
 func BenchmarkJER_Enum_n21(b *testing.B)  { benchJER(b, jer.EnumAlgo, 21) }
 
+func BenchmarkJERKernel_DP_n101(b *testing.B)   { benchJERKernel(b, jer.DPAlgo, 101) }
+func BenchmarkJERKernel_CBA_n1001(b *testing.B) { benchJERKernel(b, jer.CBAAlgo, 1001) }
+
 func benchJER(b *testing.B, algo jer.Algorithm, n int) {
 	rates := randomRates(n)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jer.Compute(rates, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchJERKernel(b *testing.B, algo jer.Algorithm, n int) {
+	rates := randomRates(n)
+	ev := jer.NewEvaluator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Compute(rates, algo); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"juryselect/internal/core"
+	"juryselect/internal/engine"
+	"juryselect/internal/experiments"
+	"juryselect/internal/jer"
+	"juryselect/internal/randx"
+)
+
+// benchEntry is one benchmark's measurement in the machine-readable
+// snapshot: the same three axes `go test -bench` reports.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchSnapshot is the file -bench-json writes. Snapshots are committed as
+// BENCH_PR<n>.json so the performance trajectory of the hot path is
+// tracked in-tree, PR over PR, with enough environment detail to judge
+// comparability.
+type benchSnapshot struct {
+	Schema     string       `json:"schema"`
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Note       string       `json:"note"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// namedBench pairs a stable snapshot name with a testing.B target. Names
+// mirror the bench_test.go benchmarks they correspond to, so in-tree
+// snapshots and `go test -bench` output line up.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func benchRates(seed int64, n int) []float64 {
+	return randx.New(seed).ErrorRates(n, 0.3, 0.15)
+}
+
+func benchJurors(n int) []core.Juror {
+	src := randx.New(11)
+	rates := src.ErrorRates(n, 0.3, 0.15)
+	costs := src.Requirements(n, 0.1, 0.1)
+	out := make([]core.Juror, n)
+	for i := range out {
+		out[i] = core.Juror{ErrorRate: rates[i], Cost: costs[i]}
+	}
+	return out
+}
+
+func benchJuries(count, size int) [][]float64 {
+	src := randx.New(17)
+	juries := make([][]float64, count)
+	for i := range juries {
+		juries[i] = src.ErrorRates(size, 0.3, 0.15)
+	}
+	return juries
+}
+
+func jerBench(algo jer.Algorithm, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rates := benchRates(7, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := jer.Compute(rates, algo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func experimentBench(id string) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := experiments.QuickConfig()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Run(id, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchRegistry is the tracked benchmark set: the JER evaluator kernels,
+// the batch engine's three EvaluateAll modes, the solvers, and the paper's
+// figure/ablation experiments at QuickConfig scale.
+func benchRegistry() []namedBench {
+	benches := []namedBench{
+		{"JER_DP_n101", jerBench(jer.DPAlgo, 101)},
+		{"JER_DP_n1001", jerBench(jer.DPAlgo, 1001)},
+		{"JER_CBA_n101", jerBench(jer.CBAAlgo, 101)},
+		{"JER_CBA_n1001", jerBench(jer.CBAAlgo, 1001)},
+		{"JER_CBA_n8191", jerBench(jer.CBAAlgo, 8191)},
+		{"JER_Enum_n21", jerBench(jer.EnumAlgo, 21)},
+	}
+	for _, size := range []int{11, 101} {
+		size := size
+		benches = append(benches,
+			namedBench{fmt.Sprintf("EvaluateAll/serial/n%d", size), func(b *testing.B) {
+				juries := benchJuries(1000, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, rates := range juries {
+						if _, err := jer.Compute(rates, jer.Auto); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}},
+			namedBench{fmt.Sprintf("EvaluateAll/parallel/n%d", size), func(b *testing.B) {
+				juries := benchJuries(1000, size)
+				eng := engine.New(engine.Options{CacheSize: -1})
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, r := range eng.EvaluateAll(ctx, juries) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			}},
+			namedBench{fmt.Sprintf("EvaluateAll/cached/n%d", size), func(b *testing.B) {
+				juries := benchJuries(1000, size)
+				eng := engine.New(engine.Options{})
+				ctx := context.Background()
+				eng.EvaluateAll(ctx, juries) // warm the memo
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, r := range eng.EvaluateAll(ctx, juries) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			}},
+		)
+	}
+	benches = append(benches,
+		namedBench{"SelectAltrFaithful_n501", func(b *testing.B) {
+			cands := benchJurors(501)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SelectAltr(cands, core.AltrOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		namedBench{"SelectAltrIncremental_n501", func(b *testing.B) {
+			cands := benchJurors(501)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SelectAltr(cands, core.AltrOptions{Incremental: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		namedBench{"SelectPay_n501", func(b *testing.B) {
+			cands := benchJurors(501)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SelectPay(cands, core.PayOptions{Budget: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		namedBench{"SelectOpt_n18", func(b *testing.B) {
+			cands := benchJurors(18)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SelectOpt(cands, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		namedBench{"SelectOptParallel_n18", func(b *testing.B) {
+			cands := benchJurors(18)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SelectOptParallel(cands, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+	for _, id := range experiments.List() {
+		benches = append(benches, namedBench{"experiment/" + id, experimentBench(id)})
+	}
+	return benches
+}
+
+// writeBenchJSON runs the tracked benchmark set in-process via
+// testing.Benchmark and writes the snapshot to path. Progress goes to
+// progress (one line per benchmark) so long runs are observable.
+func writeBenchJSON(path string, progress io.Writer) error {
+	return writeBenchSnapshot(path, benchRegistry(), progress)
+}
+
+// writeBenchSnapshot is writeBenchJSON over an explicit benchmark set.
+// Results accumulate in a same-directory temp file that is renamed over
+// path only on success: an unwritable path fails immediately instead of
+// after minutes of measurement, and a mid-run failure or interrupt leaves
+// any existing snapshot at path untouched.
+func writeBenchSnapshot(path string, benches []namedBench, progress io.Writer) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name()) // no-op after the success rename
+	snap := benchSnapshot{
+		Schema:     "juryselect-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       "experiment/* entries run at experiments.QuickConfig scale",
+	}
+	for _, nb := range benches {
+		res := testing.Benchmark(nb.fn)
+		if res.N == 0 {
+			// testing.Benchmark returns a zero result when the target
+			// b.Fatal'ed; fail fast with the name instead of emitting NaN.
+			f.Close()
+			return fmt.Errorf("benchmark %s failed", nb.name)
+		}
+		entry := benchEntry{
+			Name:        nb.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		snap.Benchmarks = append(snap.Benchmarks, entry)
+		fmt.Fprintf(progress, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			entry.Name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		f.Close()
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}

@@ -3,11 +3,18 @@
 // Usage:
 //
 //	jurybench [-exp table2,fig3a,...|all] [-quick] [-seed N] [-workers N] [-list]
+//	jurybench -bench-json BENCH_PR2.json
 //
 // Each experiment prints the rows/series the corresponding paper artifact
 // reports (Table 2 and Figures 3(a)–3(i)) plus the ablation studies from
 // DESIGN.md. -quick shrinks the workloads to CI scale; the default runs at
 // paper scale and can take minutes for the efficiency figures.
+//
+// -bench-json runs the tracked benchmark set (JER kernels, batch engine,
+// solvers, and every experiment at quick scale) in-process and writes a
+// machine-readable snapshot — ns/op, allocs/op, B/op per benchmark — to
+// the given path. Snapshots are committed as BENCH_PR<n>.json so the hot
+// path's performance trajectory is recorded PR over PR.
 package main
 
 import (
@@ -28,22 +35,31 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for synthetic workloads")
 	flag.IntVar(&cfg.workers, "workers", 0, "engine worker pool size (0 = all cores); results are identical for every value")
 	flag.BoolVar(&cfg.list, "list", false, "list experiment ids and exit")
+	flag.StringVar(&cfg.benchJSON, "bench-json", "", "run the tracked benchmark set and write a JSON snapshot to this path")
 	flag.Parse()
 	os.Exit(runBench(cfg, os.Stdout, os.Stderr))
 }
 
 type benchConfig struct {
-	exp     string
-	quick   bool
-	seed    int64
-	workers int
-	list    bool
+	exp       string
+	quick     bool
+	seed      int64
+	workers   int
+	list      bool
+	benchJSON string
 }
 
 func runBench(cfg benchConfig, out, errOut io.Writer) int {
 	if cfg.list {
 		for _, id := range experiments.List() {
 			fmt.Fprintln(out, id)
+		}
+		return 0
+	}
+	if cfg.benchJSON != "" {
+		if err := writeBenchJSON(cfg.benchJSON, out); err != nil {
+			fmt.Fprintf(errOut, "jurybench: %v\n", err)
+			return 1
 		}
 		return 0
 	}

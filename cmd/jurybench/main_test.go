@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"juryselect/internal/experiments"
+	"juryselect/internal/jer"
 )
 
 func TestRunBenchTable2(t *testing.T) {
@@ -54,5 +58,50 @@ func TestRunBenchMultipleExperiments(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "fig3e") {
 		t.Errorf("missing fig3e section:\n%s", out.String())
+	}
+}
+
+func TestWriteBenchSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var progress bytes.Buffer
+	benches := []namedBench{{"tiny/jer_dp_n11", jerBench(jer.DPAlgo, 11)}}
+	if err := writeBenchSnapshot(path, benches, &progress); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Schema != "juryselect-bench/v1" || snap.GOMAXPROCS < 1 {
+		t.Fatalf("bad snapshot header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(snap.Benchmarks))
+	}
+	e := snap.Benchmarks[0]
+	if e.Name != "tiny/jer_dp_n11" || e.NsPerOp <= 0 || e.Iterations <= 0 {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	// The pooled DP kernel must stay allocation-free in steady state; the
+	// committed BENCH_PR2.json trajectory relies on this holding.
+	if e.AllocsPerOp != 0 {
+		t.Fatalf("DP path allocates %d allocs/op, want 0", e.AllocsPerOp)
+	}
+	if !strings.Contains(progress.String(), "tiny/jer_dp_n11") {
+		t.Fatalf("no progress line: %q", progress.String())
+	}
+}
+
+func TestRunBenchJSONFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing-dir")
+	var out, errOut bytes.Buffer
+	// An unwritable path must surface as a non-zero exit, not a panic.
+	code := runBench(benchConfig{benchJSON: filepath.Join(path, "x", "y.json")}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("expected failure for unwritable snapshot path")
 	}
 }

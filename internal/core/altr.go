@@ -45,12 +45,15 @@ func SelectAltr(cands []Juror, opts AltrOptions) (Selection, error) {
 }
 
 // altrFaithful re-evaluates JER from scratch at every odd prefix size,
-// following Algorithm 3 literally.
+// following Algorithm 3 literally. One JER kernel is held across the whole
+// scan (and the prefix rates validated once up front), so the N/2
+// evaluations reuse the same buffers instead of allocating per size.
 func altrFaithful(sorted []Juror, maxN int, opts AltrOptions) (Selection, error) {
 	rates := make([]float64, 0, maxN)
 	for _, j := range sorted[:maxN] {
 		rates = append(rates, j.ErrorRate)
 	}
+	ev := jer.NewEvaluator()
 	best := Selection{JER: 2} // sentinel above any probability
 	bestN := 0
 	for n := 1; n <= maxN; n += 2 {
@@ -63,7 +66,8 @@ func altrFaithful(sorted []Juror, maxN int, opts AltrOptions) (Selection, error)
 				continue
 			}
 		}
-		v, err := jer.Compute(prefix, opts.Algorithm)
+		// Candidates were validated by SelectAltr; skip the per-prefix scan.
+		v, err := ev.ComputeValidated(prefix, opts.Algorithm)
 		if err != nil {
 			return Selection{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"juryselect/internal/jer"
+	"juryselect/internal/pbdist"
 )
 
 // PairPolicy controls what happens to the buffered "pair" candidate when a
@@ -30,6 +31,10 @@ type PayOptions struct {
 	// Budget is the non-negative budget B of Definition 8.
 	Budget float64
 	// Algorithm selects the JER evaluator used for the improvement checks.
+	// The default (jer.Auto) uses the incremental wrong-vote distribution;
+	// an explicit DP/CBA/Enum choice evaluates each trial jury from
+	// scratch with that algorithm, exactly as the pre-incremental greedy
+	// did.
 	Algorithm jer.Algorithm
 	// Strict replicates the paper's pseudocode bookkeeping literally: the
 	// accumulated requirement r is never increased after the seed juror
@@ -42,12 +47,15 @@ type PayOptions struct {
 	Pairing PairPolicy
 	// Evaluate optionally overrides the exact JER evaluator used for the
 	// admission checks — e.g. an engine-cached evaluator, so the repeated
-	// sub-juries of a budget sweep are computed once. nil means
-	// jer.Compute with opts.Algorithm. The override must be a
-	// deterministic exact JER of the rate multiset; it may differ from
-	// jer.Compute(rates) in the last ulp (e.g. the engine evaluates
-	// memoized juries in canonical order), which can flip admissions only
-	// on sub-round-off ties.
+	// sub-juries of a budget sweep are computed once. nil selects the
+	// default: an incrementally maintained wrong-vote distribution
+	// (pbdist.Dist Append/Pop, as SelectOpt uses), so each admission check
+	// costs O(n) instead of a fresh O(n²) evaluation and allocates
+	// nothing. The override must be a deterministic exact JER of the rate
+	// multiset; it may differ from the default in the last ulp (e.g. the
+	// engine evaluates memoized juries in canonical order), which can flip
+	// admissions only on sub-round-off ties. The slice passed to Evaluate
+	// is reused between calls; the evaluator must not retain it.
 	Evaluate func(rates []float64) (float64, error)
 }
 
@@ -71,12 +79,6 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 		return Selection{}, errors.New("core: negative budget")
 	}
 	sorted := sortByCostQuality(cands)
-	eval := opts.Evaluate
-	if eval == nil {
-		eval = func(rates []float64) (float64, error) {
-			return jer.Compute(rates, opts.Algorithm)
-		}
-	}
 
 	// Lines 3–5: find the first candidate whose requirement fits the
 	// budget on its own.
@@ -91,11 +93,38 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 		return Selection{}, ErrNoFeasibleJury
 	}
 
+	// The greedy's hot loop is its admission checks. The default evaluator
+	// maintains the jury's exact wrong-vote distribution incrementally:
+	// trying a pair is two Appends (O(n) each) plus a tail sum, and a
+	// rejection two Pops — the same discipline SelectOpt uses — instead of
+	// re-deriving the distribution of every trial jury from scratch. An
+	// Evaluate hook replaces this entirely (it sees the full trial rate
+	// slice, built in a reused buffer), as does an explicit Algorithm
+	// choice — including surfacing unknown Algorithm values as errors.
+	hook := opts.Evaluate
+	if hook == nil && opts.Algorithm != jer.Auto {
+		ev := jer.NewEvaluator()
+		hook = func(rates []float64) (float64, error) {
+			return ev.ComputeValidated(rates, opts.Algorithm)
+		}
+	}
+	var dist payDist
+	var trial []float64
+	if hook != nil {
+		trial = make([]float64, 0, len(sorted))
+	}
+
 	sel := Selection{}
 	jury := []Juror{sorted[seed]}
 	rates := []float64{sorted[seed].ErrorRate}
 	spent := sorted[seed].Cost
-	curJER, err := eval(rates)
+	var curJER float64
+	var err error
+	if hook != nil {
+		curJER, err = hook(rates)
+	} else {
+		curJER = dist.extend(sorted[seed].ErrorRate)
+	}
 	if err != nil {
 		return Selection{}, err
 	}
@@ -117,21 +146,30 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 			slidePair(&pair, cand, spent, opts)
 			continue
 		}
-		extended := append(append([]float64{}, rates...), pair.ErrorRate, cand.ErrorRate)
-		v, err := eval(extended)
-		if err != nil {
-			return Selection{}, err
+		var v float64
+		if hook != nil {
+			trial = append(append(trial[:0], rates...), pair.ErrorRate, cand.ErrorRate)
+			v, err = hook(trial)
+			if err != nil {
+				return Selection{}, err
+			}
+		} else {
+			dist.push(pair.ErrorRate)
+			v = dist.extend(cand.ErrorRate)
 		}
 		sel.Evaluations++
 		if v <= curJER {
 			jury = append(jury, pair, cand)
-			rates = extended
+			rates = append(rates, pair.ErrorRate, cand.ErrorRate)
 			curJER = v
 			if !opts.Strict {
 				spent += pair.Cost + cand.Cost
 			}
 			havePair = false
 		} else {
+			if hook == nil {
+				dist.retract(2)
+			}
 			slidePair(&pair, cand, spent, opts)
 		}
 	}
@@ -140,6 +178,35 @@ func SelectPay(cands []Juror, opts PayOptions) (Selection, error) {
 	sel.JER = curJER
 	sel.Cost = totalCost(jury)
 	return sel, nil
+}
+
+// payDist wraps the incremental Poisson–Binomial distribution with the
+// panic-on-impossible-error convention of the solvers: rates were validated
+// up front, so Append/Pop cannot fail.
+type payDist struct {
+	d pbdist.Dist
+}
+
+// push appends one juror's rate.
+func (p *payDist) push(rate float64) {
+	if err := p.d.Append(rate); err != nil {
+		panic(err)
+	}
+}
+
+// extend is push followed by the JER of the grown jury.
+func (p *payDist) extend(rate float64) float64 {
+	p.push(rate)
+	return p.d.TailAtLeast(jer.FailThreshold(p.d.N()))
+}
+
+// retract removes the k most recently appended jurors.
+func (p *payDist) retract(k int) {
+	for i := 0; i < k; i++ {
+		if err := p.d.Pop(); err != nil {
+			panic(err)
+		}
+	}
 }
 
 // slidePair advances the buffered pair to cand under PairSliding when cand

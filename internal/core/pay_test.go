@@ -2,8 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"testing"
 
+	"juryselect/internal/jer"
 	"juryselect/internal/randx"
 )
 
@@ -201,5 +204,83 @@ func TestSelectPayLargeBudgetMatchesAltrOnUniformCost(t *testing.T) {
 		if pay.JER < altr.JER-1e-12 {
 			t.Fatalf("trial %d: greedy %.12f beat exact optimum %.12f", trial, pay.JER, altr.JER)
 		}
+	}
+}
+
+// TestSelectPayIncrementalMatchesScratch pins the incremental-distribution
+// default against a from-scratch evaluator across random instances: the
+// greedy must admit exactly the same jurors in the same order. The
+// incremental Append/Pop round-off can differ from a fresh DP evaluation
+// in the last ulps, so JER values are compared to relative 1e-10 — an
+// admission flip would change the jury itself and fail the ID check.
+func TestSelectPayIncrementalMatchesScratch(t *testing.T) {
+	src := randx.New(505)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + src.Intn(60)
+		cands := make([]Juror, n)
+		for i := range cands {
+			cands[i] = Juror{
+				ID:        fmt.Sprintf("j%02d", i),
+				ErrorRate: src.TruncNormal(0.3, 0.2, 0, 1),
+				Cost:      src.TruncNormal(0.3, 0.3, 0, 2),
+			}
+		}
+		budget := src.Float64() * 4
+		opts := PayOptions{Budget: budget, Pairing: PairPolicy(trial % 2), Strict: trial%3 == 0}
+		inc, errInc := SelectPay(cands, opts)
+		scratch := opts
+		scratch.Evaluate = func(rates []float64) (float64, error) {
+			return jer.Compute(rates, jer.Auto)
+		}
+		ref, errRef := SelectPay(cands, scratch)
+		if (errInc == nil) != (errRef == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errInc, errRef)
+		}
+		if errInc != nil {
+			continue
+		}
+		if len(inc.Jurors) != len(ref.Jurors) {
+			t.Fatalf("trial %d: jury size %d vs %d", trial, len(inc.Jurors), len(ref.Jurors))
+		}
+		for i := range inc.Jurors {
+			if inc.Jurors[i].ID != ref.Jurors[i].ID {
+				t.Fatalf("trial %d juror %d: %s vs %s", trial, i, inc.Jurors[i].ID, ref.Jurors[i].ID)
+			}
+		}
+		if inc.Evaluations != ref.Evaluations {
+			t.Fatalf("trial %d: evaluations %d vs %d", trial, inc.Evaluations, ref.Evaluations)
+		}
+		if math.Abs(inc.JER-ref.JER) > 1e-10 {
+			t.Fatalf("trial %d: JER %v vs %v", trial, inc.JER, ref.JER)
+		}
+	}
+}
+
+// TestSelectPayAlgorithmOption asserts an explicit Algorithm choice is
+// honored — trial juries evaluated from scratch with that algorithm, as
+// before the incremental default — and that an unknown Algorithm surfaces
+// as an error instead of being silently ignored.
+func TestSelectPayAlgorithmOption(t *testing.T) {
+	cands := []Juror{
+		{ID: "s", ErrorRate: 0.10, Cost: 0.1},
+		{ID: "a", ErrorRate: 0.20, Cost: 0.2},
+		{ID: "b", ErrorRate: 0.20, Cost: 0.2},
+	}
+	want, err := SelectPay(cands, PayOptions{Budget: 1, Evaluate: func(rates []float64) (float64, error) {
+		return jer.Compute(rates, jer.DPAlgo)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SelectPay(cands, PayOptions{Budget: 1, Algorithm: jer.DPAlgo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.JER) != math.Float64bits(want.JER) || got.Size() != want.Size() {
+		t.Fatalf("explicit DPAlgo: %v/%d, want jer.Compute-identical %v/%d",
+			got.JER, got.Size(), want.JER, want.Size())
+	}
+	if _, err := SelectPay(cands, PayOptions{Budget: 1, Algorithm: jer.Algorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm accepted silently")
 	}
 }

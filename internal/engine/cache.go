@@ -2,87 +2,168 @@ package engine
 
 import (
 	"container/list"
-	"encoding/binary"
 	"math"
-	"sort"
+	"slices"
 	"sync"
+
+	"juryselect/internal/jer"
 )
 
-// canonicalize returns the rates sorted ascending (the canonical member
-// order) and their memo key: each sorted rate as its 8-byte IEEE-754
-// pattern. Two juries whose members can be paired up with exactly equal
-// rates — regardless of member order — share a key, which is exactly the
-// equivalence class under which JER is invariant (Definition 6 depends
-// only on the rates). Memoized evaluations are computed on the canonical
-// order too: jer.Compute's floating-point rounding is order-sensitive in
-// the last ulp, so evaluating the given order would make the cached value
-// depend on which permutation a worker happened to compute first.
-func canonicalize(rates []float64) (sorted []float64, key string) {
-	sorted = make([]float64, len(rates))
-	copy(sorted, rates)
-	sort.Float64s(sorted)
-	buf := make([]byte, 8*len(sorted))
-	for i, r := range sorted {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(r))
-	}
-	return sorted, string(buf)
+// evalScratch is the per-worker working set of the engine's hot path: a
+// reusable JER kernel plus the buffer the canonical (sorted) rate order is
+// built in. One scratch serves one goroutine at a time; EvaluateAll gives
+// each worker its own for the worker's whole lifetime, and one-shot
+// Evaluate calls borrow one from the pool.
+type evalScratch struct {
+	ev     *jer.Evaluator
+	sorted []float64
 }
 
-// lruCache is a mutex-guarded LRU map from multiset keys to JER values.
-// The jury workloads this serves are read-mostly with high hit rates
-// (greedy solvers re-evaluate the same sub-juries every round), so a
-// single mutex around a map + intrusive list is simple and sufficient;
-// shard it if profiles ever show contention.
-type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	items map[string]*list.Element
-	order *list.List // front = most recently used
+var scratchPool = sync.Pool{
+	New: func() any { return &evalScratch{ev: jer.NewEvaluator()} },
+}
+
+// canonicalize copies rates into the scratch buffer sorted ascending — the
+// canonical member order — and returns the buffer. Memoized evaluations
+// are computed on the canonical order: jer.Compute's floating-point
+// rounding is order-sensitive in the last ulp, so evaluating the given
+// order would make the cached value depend on which permutation a worker
+// happened to compute first. Only cache-miss leaders pay this copy + sort;
+// the request path keys the memo with the sort-free hashMultiset (the
+// n·log n sort dominated the warm-memo profile at >90% before the
+// order-invariant key removed it from hits).
+func canonicalize(rates []float64, s *evalScratch) (sorted []float64) {
+	s.sorted = append(s.sorted[:0], rates...)
+	slices.Sort(s.sorted)
+	return s.sorted
+}
+
+// hashMultiset returns the memo key of the rates multiset: each rate's
+// IEEE-754 bit pattern is avalanche-mixed (the splitmix64 finalizer, so
+// near-identical doubles map to uncorrelated words) and the mixed terms
+// combine by wrapping addition — a commutative reduction, so every member
+// order of the same multiset yields the same key with no sorting, exactly
+// the equivalence class under which JER is invariant (Definition 6 depends
+// only on the rates). The count folds in before a final avalanche so that
+// every output bit — the shard selector uses the top four — depends on
+// every input.
+//
+// The key is a hash, not the full multiset, so two distinct multisets can
+// in principle collide; with mixed terms the sum behaves uniformly and the
+// birthday probability across even a full default cache (2^16 entries) is
+// ~2^-33, far below the solvers' round-off sensitivity, and the key costs
+// 8 bytes flat instead of 8·n.
+func hashMultiset(rates []float64) uint64 {
+	var sum uint64
+	for _, r := range rates {
+		sum += mix64(math.Float64bits(r))
+	}
+	return mix64(sum + mix64(uint64(len(rates))))
+}
+
+// mix64 is the splitmix64 finalizer: an invertible avalanche in which each
+// output bit depends on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardBits sets the shard count of the memo (2^shardBits shards, shard
+// selected by the key's top shardBits bits). 16 shards keeps mutex
+// contention negligible at the worker counts the engine runs
+// (≤ GOMAXPROCS): the single-mutex design this replaces serialized every
+// cached hit through one lock, which dominated the warm-memo profile.
+const (
+	shardBits = 4
+	numShards = 1 << shardBits
+)
+
+// shardedCache is the engine memo: numShards independent LRU shards, each
+// its own mutex + map + intrusive list, with a jury's shard chosen by the
+// top bits of its multiset key. The in-flight call registry lives in the
+// shard too, so a cached hit costs exactly one shard-lock acquisition.
+type shardedCache struct {
+	shards [numShards]cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	cap      int
+	items    map[uint64]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[uint64]*call
 }
 
 type lruEntry struct {
-	key string
+	key uint64
 	val float64
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
-		cap:   capacity,
-		items: make(map[string]*list.Element, capacity),
-		order: list.New(),
+func newShardedCache(capacity int) *shardedCache {
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
 	}
+	c := &shardedCache{}
+	for i := range c.shards {
+		c.shards[i].init(per)
+	}
+	return c
 }
 
-func (c *lruCache) get(key string) (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+func (c *shardedCache) shard(key uint64) *cacheShard {
+	return &c.shards[key>>(64-shardBits)]
+}
+
+// len reports the number of cached entries across all shards.
+func (c *shardedCache) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.order.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (s *cacheShard) init(capacity int) {
+	s.cap = capacity
+	s.items = make(map[uint64]*list.Element, capacity)
+	s.order = list.New()
+	s.inflight = make(map[uint64]*call)
+}
+
+// get returns the cached value for key, marking it most recently used.
+func (s *cacheShard) get(key uint64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return 0, false
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
 
-func (c *lruCache) put(key string, val float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+// put inserts or refreshes key, evicting the least recently used entry
+// when the shard is over capacity. Callers must not hold s.mu.
+func (s *cacheShard) put(key uint64, val float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		el.Value.(*lruEntry).val = val
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
-	if c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+	s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*lruEntry).key)
 	}
-}
-
-// len reports the number of cached entries.
-func (c *lruCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
 }

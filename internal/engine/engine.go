@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"juryselect/internal/jer"
+	"juryselect/internal/pbdist"
 )
 
 // Options configures an Engine. The zero value selects sensible defaults.
@@ -54,22 +55,22 @@ type Options struct {
 	Algorithm jer.Algorithm
 	// CacheMinJurySize is the smallest jury the memo serves. Below it the
 	// engine always computes directly: the O(n²) DP on a tiny jury is
-	// cheaper than building the multiset key (copy + sort + encode) and
-	// taking the cache lock, so memoizing would slow those juries down.
-	// Zero selects DefaultCacheMinJurySize; negative memoizes every size.
+	// cheaper than hashing the multiset key and taking the shard lock, so
+	// memoizing would slow those juries down. Zero selects
+	// DefaultCacheMinJurySize; negative memoizes every size.
 	CacheMinJurySize int
 }
 
 // DefaultCacheMinJurySize is the memo threshold used when
 // Options.CacheMinJurySize is 0. The measured crossover where a memo hit
-// (≈0.5µs: key construction + locked LRU lookup) beats recomputation sits
-// near 16 jurors on current amd64 hardware.
+// (multiset hash + shard-locked LRU lookup) beats recomputation sits near
+// 16 jurors on current amd64 hardware.
 const DefaultCacheMinJurySize = 16
 
 // DefaultCacheSize is the memo capacity used when Options.CacheSize is 0.
-// A cached entry costs ~(16·n + 64) bytes for a size-n jury; at the
-// paper's jury sizes (≤ a few hundred jurors) the default stays well under
-// 100 MB even when fully populated.
+// A cached entry costs ~64 bytes regardless of jury size (the key is a
+// 64-bit multiset hash, not the rate vector), so even a fully populated
+// default cache stays around 4 MB.
 const DefaultCacheSize = 1 << 16
 
 // Result is the outcome of evaluating one jury in a batch. Index is the
@@ -98,10 +99,7 @@ type Engine struct {
 	workers  int
 	algo     jer.Algorithm
 	cacheMin int
-	cache    *lruCache // nil when caching is disabled
-
-	mu       sync.Mutex
-	inflight map[string]*call
+	cache    *shardedCache // nil when caching is disabled
 
 	evals atomic.Int64
 	hits  atomic.Int64
@@ -134,10 +132,9 @@ func New(opts Options) *Engine {
 		workers:  w,
 		algo:     opts.Algorithm,
 		cacheMin: cacheMin,
-		inflight: make(map[string]*call),
 	}
 	if size > 0 {
-		e.cache = newLRUCache(size)
+		e.cache = newShardedCache(size)
 	}
 	return e
 }
@@ -157,20 +154,42 @@ func (e *Engine) Stats() Stats {
 // before, so their value is identical for every permutation. It never
 // blocks on other juries — only on an identical in-flight computation.
 func (e *Engine) Evaluate(rates []float64) (float64, error) {
+	s := scratchPool.Get().(*evalScratch)
+	v, err := e.evaluate(rates, s)
+	scratchPool.Put(s)
+	return v, err
+}
+
+// evaluate is Evaluate on an explicit scratch, so batch workers amortize
+// one scratch (kernel buffers + sort buffer) across their whole run.
+// Rates are validated here, exactly once per request; every downstream
+// computation uses the kernel's validated entry point.
+func (e *Engine) evaluate(rates []float64, s *evalScratch) (float64, error) {
+	if len(rates) == 0 {
+		return 0, jer.ErrEmptyJury
+	}
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return 0, err
+	}
 	if e.cache == nil || len(rates) < e.cacheMin {
 		e.evals.Add(1)
-		return jer.Compute(rates, e.algo)
+		return s.ev.ComputeValidated(rates, e.algo)
 	}
-	sorted, key := canonicalize(rates)
-	if v, ok := e.cache.get(key); ok {
+	key := hashMultiset(rates)
+	sh := e.cache.shard(key)
+
+	// One shard-lock acquisition serves a cached hit, joins an identical
+	// in-flight computation, or registers this call as its leader.
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.order.MoveToFront(el)
+		v := el.Value.(*lruEntry).val
+		sh.mu.Unlock()
 		e.hits.Add(1)
 		return v, nil
 	}
-
-	// Join an identical in-flight computation or become its leader.
-	e.mu.Lock()
-	if c, ok := e.inflight[key]; ok {
-		e.mu.Unlock()
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
 		<-c.done
 		if c.err == nil {
 			e.hits.Add(1)
@@ -178,17 +197,17 @@ func (e *Engine) Evaluate(rates []float64) (float64, error) {
 		return c.jer, c.err
 	}
 	c := &call{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.mu.Unlock()
+	sh.inflight[key] = c
+	sh.mu.Unlock()
 
 	e.evals.Add(1)
-	c.jer, c.err = jer.Compute(sorted, e.algo)
+	c.jer, c.err = s.ev.ComputeValidated(canonicalize(rates, s), e.algo)
 	if c.err == nil {
-		e.cache.put(key, c.jer)
+		sh.put(key, c.jer)
 	}
-	e.mu.Lock()
-	delete(e.inflight, key)
-	e.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
 	close(c.done)
 	return c.jer, c.err
 }
@@ -229,14 +248,16 @@ func (e *Engine) EvaluateAll(ctx context.Context, rateSets [][]float64) []Result
 		workers = len(rateSets)
 	}
 	if workers <= 1 {
+		s := scratchPool.Get().(*evalScratch)
 		for i, rates := range rateSets {
 			if err := ctx.Err(); err != nil {
 				out[i] = Result{Index: i, Err: err}
 				continue
 			}
-			v, err := e.Evaluate(rates)
+			v, err := e.evaluate(rates, s)
 			out[i] = Result{Index: i, JER: v, Err: err}
 		}
+		scratchPool.Put(s)
 		return out
 	}
 
@@ -247,6 +268,11 @@ func (e *Engine) EvaluateAll(ctx context.Context, rateSets [][]float64) []Result
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns one scratch (JER kernel + sort buffer) for
+			// its whole lifetime, so the batch's steady-state allocation is
+			// bounded by the worker count, not the jury count.
+			s := scratchPool.Get().(*evalScratch)
+			defer scratchPool.Put(s)
 			for {
 				lo := int(next.Add(chunk) - chunk)
 				if lo >= len(rateSets) {
@@ -262,7 +288,7 @@ func (e *Engine) EvaluateAll(ctx context.Context, rateSets [][]float64) []Result
 						out[i] = Result{Index: i, Err: cancelled}
 						continue
 					}
-					v, err := e.Evaluate(rateSets[i])
+					v, err := e.evaluate(rateSets[i], s)
 					out[i] = Result{Index: i, JER: v, Err: err}
 				}
 			}

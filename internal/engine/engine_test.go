@@ -192,47 +192,99 @@ func TestEvaluateAllCancellation(t *testing.T) {
 	}
 }
 
-// TestLRUEviction asserts the cache respects its capacity bound and evicts
-// the least recently used multiset first.
+// TestLRUEviction asserts a cache shard respects its capacity bound and
+// evicts the least recently used multiset first.
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
-	c.put("a", 1)
-	c.put("b", 2)
-	if _, ok := c.get("a"); !ok { // touch "a" → "b" becomes LRU
-		t.Fatal("a missing")
+	var sh cacheShard
+	sh.init(2)
+	sh.put(1, 1)
+	sh.put(2, 2)
+	if _, ok := sh.get(1); !ok { // touch 1 → 2 becomes LRU
+		t.Fatal("key 1 missing")
 	}
-	c.put("c", 3)
-	if c.len() != 2 {
-		t.Fatalf("cache holds %d entries, cap 2", c.len())
+	sh.put(3, 3)
+	if n := sh.order.Len(); n != 2 {
+		t.Fatalf("shard holds %d entries, cap 2", n)
 	}
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b should have been evicted (least recently used)")
+	if _, ok := sh.get(2); ok {
+		t.Fatal("key 2 should have been evicted (least recently used)")
 	}
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a should have survived (recently used)")
+	if _, ok := sh.get(1); !ok {
+		t.Fatal("key 1 should have survived (recently used)")
 	}
-	if _, ok := c.get("c"); !ok {
-		t.Fatal("c should be present")
+	if _, ok := sh.get(3); !ok {
+		t.Fatal("key 3 should be present")
+	}
+}
+
+// TestShardedCacheLen asserts the cross-shard entry count and per-shard
+// capacity split: capacity divides across shards, never below one entry.
+func TestShardedCacheLen(t *testing.T) {
+	c := newShardedCache(numShards * 2)
+	for i := range c.shards {
+		if c.shards[i].cap != 2 {
+			t.Fatalf("shard %d cap = %d, want 2", i, c.shards[i].cap)
+		}
+	}
+	src := randx.New(23)
+	for i := 0; i < 100; i++ {
+		key := hashMultiset(src.ErrorRates(17, 0.3, 0.1))
+		c.shard(key).put(key, float64(i))
+	}
+	if n := c.len(); n > numShards*2 {
+		t.Fatalf("cache holds %d entries, cap %d", n, numShards*2)
+	}
+	if newShardedCache(1).shards[0].cap != 1 {
+		t.Fatal("tiny capacity must still give each shard one entry")
 	}
 }
 
 // TestCanonicalizeOrderInvariance asserts the memo key depends only on
-// the multiset of rates and the canonical order is sorted.
+// the multiset of rates — with no sorting on the request path — and that
+// the canonical evaluation order is sorted.
 func TestCanonicalizeOrderInvariance(t *testing.T) {
-	s1, k1 := canonicalize([]float64{0.1, 0.2, 0.3})
-	s2, k2 := canonicalize([]float64{0.3, 0.2, 0.1})
+	k1 := hashMultiset([]float64{0.1, 0.2, 0.3})
+	k2 := hashMultiset([]float64{0.3, 0.2, 0.1})
 	if k1 != k2 {
 		t.Fatal("key not order-invariant")
 	}
-	for i := range s1 {
-		if s1[i] != s2[i] {
-			t.Fatalf("canonical orders differ: %v vs %v", s1, s2)
+	s1 := append([]float64(nil), canonicalize([]float64{0.3, 0.1, 0.2}, &evalScratch{})...)
+	for i, want := range []float64{0.1, 0.2, 0.3} {
+		if s1[i] != want {
+			t.Fatalf("canonical order = %v, want sorted", s1)
 		}
 	}
-	_, k3 := canonicalize([]float64{0.1, 0.2})
-	_, k4 := canonicalize([]float64{0.1, 0.2, 0.2})
-	if k3 == k4 {
-		t.Fatal("different multisets collided")
+	if hashMultiset([]float64{0.1, 0.2}) == hashMultiset([]float64{0.1, 0.2, 0.2}) {
+		t.Fatal("multiset and its extension collided")
+	}
+	// The commutative reduction must still separate multisets whose plain
+	// (unmixed) sums coincide: {a,a,b} vs {a,b,b} vs {a+b split differently}.
+	if hashMultiset([]float64{0.1, 0.1, 0.4}) == hashMultiset([]float64{0.2, 0.2, 0.2}) {
+		t.Fatal("equal-sum multisets collided")
+	}
+}
+
+// TestHashMultisetDistribution asserts distinct multisets spread across
+// all shards and collide on neither key nor shard in a modest sample — the
+// property the sharded memo's contention win rests on.
+func TestHashMultisetDistribution(t *testing.T) {
+	src := randx.New(31)
+	seen := make(map[uint64]bool)
+	var perShard [numShards]int
+	const samples = 4096
+	for i := 0; i < samples; i++ {
+		key := hashMultiset(src.ErrorRates(1+src.Intn(40), 0.3, 0.15))
+		if seen[key] {
+			t.Fatalf("sample %d: 64-bit key collision", i)
+		}
+		seen[key] = true
+		perShard[key>>(64-shardBits)]++
+	}
+	for sh, n := range perShard {
+		// Expected 256 per shard; a 4× imbalance would mean broken mixing.
+		if n < samples/numShards/4 || n > samples/numShards*4 {
+			t.Fatalf("shard %d got %d of %d keys — top bits poorly mixed", sh, n, samples)
+		}
 	}
 }
 
@@ -246,7 +298,7 @@ func TestMemoValueIsCanonical(t *testing.T) {
 	for i, r := range rates {
 		reversed[len(rates)-1-i] = r
 	}
-	sorted, _ := canonicalize(rates)
+	sorted := canonicalize(rates, &evalScratch{})
 	want, err := jer.Compute(sorted, jer.Auto)
 	if err != nil {
 		t.Fatal(err)

@@ -2,20 +2,27 @@
 // (probability-vector) convolutions that back the paper's Convolution-Based
 // Algorithm (CBA, Algorithm 2) for computing the Jury Error Rate.
 //
-// The package offers three entry points:
+// The package offers four entry points:
 //
 //   - Transform / Inverse: radix-2 iterative complex FFT.
 //   - ConvolveNaive: O(len(a)·len(b)) schoolbook convolution.
 //   - Convolve: size-adaptive convolution that uses the schoolbook method
 //     below a crossover and the FFT method above it.
+//   - ConvolveInto: Convolve writing into a caller-provided output slice
+//     with all FFT temporaries drawn from a reusable Scratch arena, so a
+//     steady-state caller (e.g. the jer.Evaluator kernel) allocates
+//     nothing.
 //
 // The convolutions operate on non-negative real vectors (probability mass
-// functions of wrong-vote counts); Convolve clamps tiny negative values that
-// arise from floating-point round-off back to zero so downstream code can
-// rely on PMF non-negativity.
+// functions of wrong-vote counts); Convolve and ConvolveInto clamp tiny
+// negative values that arise from floating-point round-off back to zero so
+// downstream code can rely on PMF non-negativity.
 package fft
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // convolveCrossover is the total output length above which FFT convolution
 // beats the schoolbook method. Determined empirically on amd64; correctness
@@ -84,6 +91,37 @@ func nextPow2(n int) int {
 	return p
 }
 
+// Scratch is a reusable arena for the complex temporaries of the FFT
+// convolution path. A zero Scratch is ready to use; buffers grow to the
+// largest transform seen and are then reused, so a long-lived Scratch makes
+// ConvolveInto allocation-free in steady state. A Scratch is not safe for
+// concurrent use; give each worker its own (NewScratch) or let the
+// package-level pool hand them out (Convolve, ConvolveFFT).
+type Scratch struct {
+	buf  []complex128 // packed input spectrum fa = a + i·b
+	prod []complex128 // pointwise spectral product
+}
+
+// NewScratch returns an empty arena. Buffers are grown on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// complexPair returns two length-n complex buffers backed by the arena. The
+// first is zeroed (it is filled additively by the packing step); the second
+// is returned dirty because the pointwise product overwrites every entry.
+func (s *Scratch) complexPair(n int) (buf, prod []complex128) {
+	if cap(s.buf) < n {
+		s.buf = make([]complex128, n)
+		s.prod = make([]complex128, n)
+	}
+	buf, prod = s.buf[:n], s.prod[:n]
+	clear(buf)
+	return buf, prod
+}
+
+// scratchPool recycles arenas for the convenience entry points that do not
+// thread their own Scratch through.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
 // ConvolveNaive returns the linear convolution of a and b using the
 // schoolbook O(len(a)·len(b)) algorithm. The result has length
 // len(a)+len(b)-1. Either input being empty yields nil.
@@ -92,6 +130,14 @@ func ConvolveNaive(a, b []float64) []float64 {
 		return nil
 	}
 	out := make([]float64, len(a)+len(b)-1)
+	convolveNaiveInto(out, a, b)
+	return out
+}
+
+// convolveNaiveInto accumulates the schoolbook convolution of a and b into
+// out, which must be zeroed, have length len(a)+len(b)-1 and alias neither
+// input.
+func convolveNaiveInto(out, a, b []float64) {
 	for i, av := range a {
 		if av == 0 {
 			continue
@@ -100,7 +146,6 @@ func ConvolveNaive(a, b []float64) []float64 {
 			out[i+j] += av * bv
 		}
 	}
-	return out
 }
 
 // ConvolveFFT returns the linear convolution of a and b computed through the
@@ -110,12 +155,22 @@ func ConvolveFFT(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	outLen := len(a) + len(b) - 1
-	n := nextPow2(outLen)
+	out := make([]float64, len(a)+len(b)-1)
+	s := scratchPool.Get().(*Scratch)
+	convolveFFTInto(out, a, b, s)
+	scratchPool.Put(s)
+	return out
+}
+
+// convolveFFTInto computes the FFT convolution of a and b into out, drawing
+// every complex temporary from s. out must have length len(a)+len(b)-1 and
+// alias neither input.
+func convolveFFTInto(out, a, b []float64, s *Scratch) {
+	n := nextPow2(len(out))
+	buf, prod := s.complexPair(n)
 	// Pack both real sequences into one complex buffer: fa = a + i·b.
 	// One forward transform then yields the spectra of both via symmetry,
 	// halving the transform count relative to the textbook formulation.
-	buf := make([]complex128, n)
 	for i, v := range a {
 		buf[i] = complex(v, 0)
 	}
@@ -125,7 +180,6 @@ func ConvolveFFT(a, b []float64) []float64 {
 	Transform(buf)
 	// With F = FFT(a + i·b): A[k] = (F[k] + conj(F[n-k]))/2,
 	// B[k] = (F[k] - conj(F[n-k]))/(2i). Multiply spectra pointwise.
-	prod := make([]complex128, n)
 	for k := 0; k < n; k++ {
 		km := (n - k) & (n - 1)
 		fk := buf[k]
@@ -135,11 +189,9 @@ func ConvolveFFT(a, b []float64) []float64 {
 		prod[k] = ak * bk
 	}
 	Inverse(prod)
-	out := make([]float64, outLen)
 	for i := range out {
 		out[i] = real(prod[i])
 	}
-	return out
 }
 
 func cconj(c complex128) complex128 { return complex(real(c), -imag(c)) }
@@ -152,15 +204,39 @@ func Convolve(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	var out []float64
+	out := make([]float64, len(a)+len(b)-1)
+	s := scratchPool.Get().(*Scratch)
+	ConvolveInto(out, a, b, s)
+	scratchPool.Put(s)
+	return out
+}
+
+// ConvolveInto is Convolve writing the result into out, which must have
+// length len(a)+len(b)-1 and alias neither input. FFT temporaries come from
+// s (nil draws a pooled arena), so a caller holding its own Scratch and
+// output buffer performs no allocation. The values written are bit-identical
+// to Convolve's for the same inputs: the branch choice, loop order and
+// round-off clamping are the same code.
+func ConvolveInto(out, a, b []float64, s *Scratch) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if len(out) != len(a)+len(b)-1 {
+		panic("fft: ConvolveInto output length must be len(a)+len(b)-1")
+	}
 	if len(a)+len(b)-1 < convolveCrossover || len(a) < 8 || len(b) < 8 {
-		out = ConvolveNaive(a, b)
-	} else {
-		out = ConvolveFFT(a, b)
-		for i, v := range out {
-			if v < 0 {
-				out[i] = 0
-			}
+		clear(out)
+		convolveNaiveInto(out, a, b)
+		return out
+	}
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(s)
+	}
+	convolveFFTInto(out, a, b, s)
+	for i, v := range out {
+		if v < 0 {
+			out[i] = 0
 		}
 	}
 	return out

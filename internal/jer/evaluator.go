@@ -1,0 +1,208 @@
+package jer
+
+import (
+	"fmt"
+	"sync"
+
+	"juryselect/internal/fft"
+	"juryselect/internal/pbdist"
+)
+
+// Evaluator is a reusable JER kernel: it owns the DP rolling vectors of
+// Algorithm 1, the PMF ladder and convolution scratch of Algorithm 2, and
+// the FFT arena those convolutions draw from. Buffers grow to the largest
+// jury seen and are then reused, so a long-lived Evaluator computes JER
+// with zero steady-state heap allocation on both the DP and CBA paths.
+//
+// The arithmetic is exactly the package-level evaluators': Compute(rates,
+// algo) on a fresh Evaluator is bit-identical to jer.Compute(rates, algo),
+// and reuse cannot change values (every buffer is fully overwritten before
+// it is read — asserted by TestEvaluatorReuseBitIdentical).
+//
+// An Evaluator is not safe for concurrent use; give each worker its own
+// (the batch engine keeps one per worker) or rely on the package-level pool
+// behind jer.Compute.
+type Evaluator struct {
+	// DP rolling vectors (Algorithm 1): prev[m] = Pr(C ≥ L-1 | J_m),
+	// cur[m] = Pr(C ≥ L | J_m).
+	prev, cur []float64
+	// CBA ladder state (Algorithm 2, iterative): tasks is the explicit
+	// recursion stack, spans indexes the PMFs currently live on the
+	// contiguous value stack, conv is the convolution output scratch.
+	tasks []distTask
+	spans []distSpan
+	stack []float64
+	conv  []float64
+	fs    *fft.Scratch
+}
+
+// distTask is one frame of the iterative divide-and-conquer: expand the
+// juror range [lo,hi), or (merge=true) convolve the two PMFs its halves
+// left on the value stack.
+type distTask struct {
+	lo, hi int
+	merge  bool
+}
+
+// distSpan locates one PMF on the contiguous value stack.
+type distSpan struct {
+	start, n int
+}
+
+// NewEvaluator returns an empty Evaluator; buffers grow on first use.
+func NewEvaluator() *Evaluator { return &Evaluator{fs: fft.NewScratch()} }
+
+// evaluatorPool backs the package-level Compute wrapper so one-shot callers
+// get the pooled kernel without managing an Evaluator themselves.
+var evaluatorPool = sync.Pool{New: func() any { return NewEvaluator() }}
+
+// Compute evaluates JER(rates) with the chosen algorithm. It validates the
+// rates (Definition 4: every ε ∈ (0,1)) before computing.
+func (e *Evaluator) Compute(rates []float64, algo Algorithm) (float64, error) {
+	if len(rates) == 0 {
+		return 0, ErrEmptyJury
+	}
+	if err := pbdist.ValidateRates(rates); err != nil {
+		return 0, err
+	}
+	return e.ComputeValidated(rates, algo)
+}
+
+// ComputeValidated is Compute without the rate validation pass, for callers
+// that have already validated (and possibly canonicalized) the rates — the
+// batch engine validates once per request and then uses this entry point,
+// so the O(n) validation scan runs exactly once per request instead of
+// twice. Passing unvalidated rates is a bug: out-of-range rates yield
+// meaningless probabilities rather than an error. The empty jury is still
+// rejected here because it would otherwise panic.
+func (e *Evaluator) ComputeValidated(rates []float64, algo Algorithm) (float64, error) {
+	n := len(rates)
+	if n == 0 {
+		return 0, ErrEmptyJury
+	}
+	switch algo {
+	case Auto:
+		if n <= autoCrossover {
+			return e.dp(rates), nil
+		}
+		return e.cba(rates), nil
+	case DPAlgo:
+		return e.dp(rates), nil
+	case CBAAlgo:
+		return e.cba(rates), nil
+	case EnumAlgo:
+		// Off the hot path (n ≤ 25); TailEnum's own validation is accepted.
+		return pbdist.TailEnum(rates, FailThreshold(n))
+	default:
+		return 0, fmt.Errorf("jer: unknown algorithm %d", int(algo))
+	}
+}
+
+// grow returns buf resized to length n, reallocating only when capacity is
+// insufficient — and then at least doubling, so a caller sweeping
+// monotonically growing juries (e.g. AltrALG's prefix scan) reallocates
+// O(log n) times instead of once per size. Contents are unspecified;
+// callers overwrite.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		return make([]float64, n, c)
+	}
+	return buf[:n]
+}
+
+// dp implements Algorithm 1 on the evaluator's rolling vectors: the
+// recurrence of Lemma 1,
+//
+//	Pr(C ≥ L | J_m) = Pr(C ≥ L-1 | J_{m-1})·ε_m + Pr(C ≥ L | J_{m-1})·(1-ε_m)
+//
+// evaluated bottom-up over L = 1..(n+1)/2, O(n²) time and O(n) space
+// exactly as Corollary 1 states.
+func (e *Evaluator) dp(rates []float64) float64 {
+	n := len(rates)
+	threshold := FailThreshold(n)
+	e.prev = grow(e.prev, n+1)
+	e.cur = grow(e.cur, n+1)
+	prev, cur := e.prev, e.cur
+	for m := range prev {
+		prev[m] = 1 // Pr(C ≥ 0 | J_m) = 1
+	}
+	for L := 1; L <= threshold; L++ {
+		// Pr(C ≥ L | J_m) = 0 for m < L.
+		for m := 0; m < L && m <= n; m++ {
+			cur[m] = 0
+		}
+		for m := L; m <= n; m++ {
+			eps := rates[m-1]
+			cur[m] = prev[m-1]*eps + cur[m-1]*(1-eps)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// cba implements Algorithm 2: the exact wrong-vote PMF by divide-and-conquer
+// convolution, then the upper tail at the failure threshold.
+func (e *Evaluator) cba(rates []float64) float64 {
+	pmf := e.distribution(rates)
+	return tailSum(pmf, FailThreshold(len(rates)))
+}
+
+// distribution computes the exact PMF of the number of wrong voters into
+// the evaluator's value stack and returns it (length len(rates)+1, valid
+// until the next evaluator call). It is the iterative form of Algorithm 2:
+// the recursion "split [lo,hi) at its floor midpoint, recurse, merge by
+// convolution" is driven by an explicit task stack, visiting the exact same
+// merge tree in the exact same order as the recursive formulation — child
+// PMFs are adjacent on a contiguous value stack and each merge convolves
+// left×right into scratch, then collapses the pair in place. Same tree,
+// same convolution operand order, same code under each convolution: the
+// output is bit-identical to the recursive version (asserted across sizes
+// 1..2048 by TestIterativeDistributionBitIdentical), with zero steady-state
+// allocation instead of O(n) slices per call.
+func (e *Evaluator) distribution(rates []float64) []float64 {
+	n := len(rates)
+	if n == 0 {
+		e.stack = append(e.stack[:0], 1)
+		return e.stack
+	}
+	e.tasks = append(e.tasks[:0], distTask{lo: 0, hi: n})
+	e.spans = e.spans[:0]
+	e.stack = e.stack[:0]
+	for len(e.tasks) > 0 {
+		t := e.tasks[len(e.tasks)-1]
+		e.tasks = e.tasks[:len(e.tasks)-1]
+		switch {
+		case t.merge:
+			// Lines 6–9 of Algorithm 2: merge the halves' PMFs, which sit
+			// as the top two spans (left below right) of the value stack.
+			k := len(e.spans)
+			l, r := e.spans[k-2], e.spans[k-1]
+			outLen := l.n + r.n - 1
+			e.conv = grow(e.conv, outLen)
+			fft.ConvolveInto(e.conv, e.stack[l.start:l.start+l.n],
+				e.stack[r.start:r.start+r.n], e.fs)
+			copy(e.stack[l.start:], e.conv)
+			e.stack = e.stack[:l.start+outLen]
+			e.spans = e.spans[:k-1]
+			e.spans[k-2] = distSpan{start: l.start, n: outLen}
+		case t.hi-t.lo == 1:
+			// Lines 2–4 of Algorithm 2: a single juror's PMF.
+			r := rates[t.lo]
+			e.stack = append(e.stack, 1-r, r)
+			e.spans = append(e.spans, distSpan{start: len(e.stack) - 2, n: 2})
+		default:
+			// Expand: left half first, then right, then merge — pushed in
+			// reverse so they pop in recursion order.
+			mid := t.lo + (t.hi-t.lo)/2
+			e.tasks = append(e.tasks,
+				distTask{lo: t.lo, hi: t.hi, merge: true},
+				distTask{lo: mid, hi: t.hi},
+				distTask{lo: t.lo, hi: mid})
+		}
+	}
+	return e.stack
+}

@@ -1,0 +1,60 @@
+package jer
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzJER cross-checks the three exact evaluators of Section 3.1 — DP
+// (Algorithm 1), CBA (Algorithm 2) and the naive minority enumeration —
+// on fuzzer-chosen small juries. The raw bytes decode to up to 15 rates in
+// (0,1); any two evaluators disagreeing beyond accumulated-round-off
+// tolerance is a kernel bug.
+//
+// Run the seed corpus as a plain test (go test), or explore with
+// go test -fuzz=FuzzJER ./internal/jer.
+func FuzzJER(f *testing.F) {
+	f.Add([]byte{0x80, 0x10, 0xFF})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x00, 0x00, 0x00})                     // extreme small rates
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})         // extreme large rates
+	f.Add([]byte{0x7F, 0x80, 0x81, 0x7E, 0x80, 0x80})   // near-1/2 rates
+	f.Add(binary.LittleEndian.AppendUint64(nil, 1<<63)) // single juror
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := len(data)
+		if n > 15 {
+			n = 15
+		}
+		rates := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Map byte b to (0,1) strictly: (b+0.5)/256 ∈ [0.00195, 0.998].
+			rates[i] = (float64(data[i]) + 0.5) / 256
+		}
+		dp, err := Compute(rates, DPAlgo)
+		if err != nil {
+			t.Fatalf("DP: %v", err)
+		}
+		cba, err := Compute(rates, CBAAlgo)
+		if err != nil {
+			t.Fatalf("CBA: %v", err)
+		}
+		enum, err := Compute(rates, EnumAlgo)
+		if err != nil {
+			t.Fatalf("Enum: %v", err)
+		}
+		const tol = 1e-10
+		if math.Abs(dp-cba) > tol {
+			t.Fatalf("rates %v: DP %v vs CBA %v", rates, dp, cba)
+		}
+		if math.Abs(dp-enum) > tol {
+			t.Fatalf("rates %v: DP %v vs Enum %v", rates, dp, enum)
+		}
+		if dp < 0 || dp > 1 {
+			t.Fatalf("rates %v: JER %v outside [0,1]", rates, dp)
+		}
+	})
+}

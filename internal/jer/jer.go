@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 
-	"juryselect/internal/fft"
 	"juryselect/internal/pbdist"
 	"juryselect/internal/randx"
 )
@@ -73,30 +72,16 @@ func (a Algorithm) String() string {
 // DP is O(n²) with a tiny constant; CBA wins for large juries.
 const autoCrossover = 512
 
-// Compute evaluates JER(rates) with the chosen algorithm.
+// Compute evaluates JER(rates) with the chosen algorithm. It is a thin
+// wrapper over a pooled Evaluator: after the pool is warm a call performs
+// no heap allocation on the DP and CBA paths. Hot loops that evaluate many
+// juries should hold their own Evaluator instead (one Get/Put pair per
+// call is the only overhead this wrapper adds).
 func Compute(rates []float64, algo Algorithm) (float64, error) {
-	n := len(rates)
-	if n == 0 {
-		return 0, ErrEmptyJury
-	}
-	if err := pbdist.ValidateRates(rates); err != nil {
-		return 0, err
-	}
-	switch algo {
-	case Auto:
-		if n <= autoCrossover {
-			return dp(rates), nil
-		}
-		return cba(rates), nil
-	case DPAlgo:
-		return dp(rates), nil
-	case CBAAlgo:
-		return cba(rates), nil
-	case EnumAlgo:
-		return pbdist.TailEnum(rates, FailThreshold(n))
-	default:
-		return 0, fmt.Errorf("jer: unknown algorithm %d", int(algo))
-	}
+	e := evaluatorPool.Get().(*Evaluator)
+	v, err := e.Compute(rates, algo)
+	evaluatorPool.Put(e)
+	return v, err
 }
 
 // DP evaluates JER with Algorithm 1. It validates input.
@@ -108,64 +93,31 @@ func CBA(rates []float64) (float64, error) { return Compute(rates, CBAAlgo) }
 // Enum evaluates JER by exhaustive minority enumeration (n ≤ 25).
 func Enum(rates []float64) (float64, error) { return Compute(rates, EnumAlgo) }
 
-// dp implements Algorithm 1: the recurrence of Lemma 1,
-//
-//	Pr(C ≥ L | J_m) = Pr(C ≥ L-1 | J_{m-1})·ε_m + Pr(C ≥ L | J_{m-1})·(1-ε_m)
-//
-// evaluated bottom-up over L = 1..(n+1)/2 with two rolling vectors, giving
-// O(n²) time and O(n) space exactly as Corollary 1 states.
-func dp(rates []float64) float64 {
-	n := len(rates)
-	threshold := FailThreshold(n)
-	// prev[m] = Pr(C ≥ L-1 | J_m); cur[m] = Pr(C ≥ L | J_m), m = 0..n.
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
-	for m := range prev {
-		prev[m] = 1 // Pr(C ≥ 0 | J_m) = 1
-	}
-	for L := 1; L <= threshold; L++ {
-		// Pr(C ≥ L | J_m) = 0 for m < L.
-		for m := 0; m < L && m <= n; m++ {
-			cur[m] = 0
-		}
-		for m := L; m <= n; m++ {
-			e := rates[m-1]
-			cur[m] = prev[m-1]*e + cur[m-1]*(1-e)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[n]
-}
-
-// cba implements Algorithm 2: split the jury in half, recursively obtain the
-// distribution of wrong-vote counts D_C for each half, and merge by
-// polynomial multiplication (convolution, FFT-accelerated for large blocks).
-// The JER is the upper tail of the merged distribution.
-func cba(rates []float64) float64 {
-	dist := Distribution(rates)
-	return tailSum(dist, FailThreshold(len(rates)))
-}
-
 // Distribution returns the exact PMF of the number of wrong voters using
-// the divide-and-conquer convolution of Algorithm 2. The result has length
-// len(rates)+1; entry k is Pr(C = k). Rates must be valid; callers that
-// accept external input should use Compute which validates.
+// the divide-and-conquer convolution of Algorithm 2: the juror range is
+// split at its floor midpoint, each half's PMF is obtained the same way,
+// and halves merge by polynomial multiplication (convolution,
+// FFT-accelerated for large blocks). The merge tree is evaluated
+// iteratively on a pooled Evaluator (see Evaluator.distribution), visiting
+// the same merges in the same order as the recursive formulation, so the
+// values are unchanged. The result has length len(rates)+1; entry k is
+// Pr(C = k). Rates must be valid; callers that accept external input
+// should use Compute which validates.
 func Distribution(rates []float64) []float64 {
-	n := len(rates)
-	if n == 0 {
-		return []float64{1}
-	}
-	if n == 1 {
-		// Lines 2–4 of Algorithm 2.
-		return []float64{1 - rates[0], rates[0]}
-	}
-	// Lines 6–9: split, recurse, merge by convolution.
-	mid := n / 2
-	left := Distribution(rates[:mid])
-	right := Distribution(rates[mid:])
-	return fft.Convolve(left, right)
+	e := evaluatorPool.Get().(*Evaluator)
+	pmf := e.distribution(rates)
+	out := make([]float64, len(pmf))
+	copy(out, pmf)
+	evaluatorPool.Put(e)
+	return out
 }
 
+// tailSum returns Σ pmf[i] for i ≥ k, clamped to [0,1]. Whichever side of
+// the PMF is shorter is summed (the tail directly, or 1 − head), and the
+// sum is Kahan-compensated (pbdist.KahanSum): at the paper's large jury
+// sizes a plain left-to-right sum over thousands of near-cancelling
+// round-off-bearing terms drifts by ~n·ulp, which compensation removes
+// (see TestTailSumCompensation).
 func tailSum(pmf []float64, k int) float64 {
 	if k <= 0 {
 		return 1
@@ -173,17 +125,11 @@ func tailSum(pmf []float64, k int) float64 {
 	if k >= len(pmf) {
 		return 0
 	}
-	tail := 0.0
+	var tail float64
 	if len(pmf)-k <= k {
-		for i := k; i < len(pmf); i++ {
-			tail += pmf[i]
-		}
+		tail = pbdist.KahanSum(pmf[k:])
 	} else {
-		head := 0.0
-		for i := 0; i < k; i++ {
-			head += pmf[i]
-		}
-		tail = 1 - head
+		tail = 1 - pbdist.KahanSum(pmf[:k])
 	}
 	if tail < 0 {
 		return 0

@@ -177,18 +177,15 @@ func (d *Dist) TailAtLeast(k int) float64 {
 	if d.pmf == nil || k >= len(d.pmf) {
 		return 0
 	}
-	// Sum the smaller side for accuracy, exploiting total mass 1.
-	tail := 0.0
+	// Sum the smaller side for accuracy, exploiting total mass 1. The sum
+	// is Kahan-compensated: plain accumulation over thousands of PMF
+	// entries drifts by O(n) ulps, which matters when solvers compare
+	// near-tied tails (see TestTailAtLeastCompensation).
+	var tail float64
 	if len(d.pmf)-k <= k {
-		for i := k; i < len(d.pmf); i++ {
-			tail += d.pmf[i]
-		}
+		tail = KahanSum(d.pmf[k:])
 	} else {
-		head := 0.0
-		for i := 0; i < k; i++ {
-			head += d.pmf[i]
-		}
-		tail = 1 - head
+		tail = 1 - KahanSum(d.pmf[:k])
 	}
 	if tail < 0 {
 		return 0
@@ -197,6 +194,21 @@ func (d *Dist) TailAtLeast(k int) float64 {
 		return 1
 	}
 	return tail
+}
+
+// KahanSum returns the compensated (Kahan) sum of xs: the running error of
+// each addition is recovered and fed back, keeping the total rounding
+// error O(1) ulps instead of growing with len(xs). It is the summation
+// primitive behind every tail sum in this module (here and in jer).
+func KahanSum(xs []float64) float64 {
+	sum, comp := 0.0, 0.0
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
 }
 
 // Mean returns E[C] = Σ ε_i.

@@ -3,6 +3,7 @@ package pbdist
 import (
 	"errors"
 	"math"
+	"math/big"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -356,5 +357,48 @@ func BenchmarkAppend1000(b *testing.B) {
 		for _, p := range rates {
 			_ = d.Append(p)
 		}
+	}
+}
+
+// TestTailAtLeastCompensation asserts the compensated tail sum tracks an
+// exact big.Float reference within 1 ulp on an adversarial large-n rate
+// set where the uncompensated accumulation it replaced drifts by many
+// ulps. The PMF of 8191 heterogeneous jurors spreads mass over thousands
+// of entries across ~30 orders of magnitude — exactly the shape that
+// accumulates O(n)-ulp error in a plain left-to-right sum.
+func TestTailAtLeastCompensation(t *testing.T) {
+	n := 8191
+	rates := make([]float64, n)
+	rng := rand.New(rand.NewSource(71))
+	for i := range rates {
+		rates[i] = 0.05 + 0.9*rng.Float64()
+	}
+	d, err := New(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := (n + 2) / 2 // the JER threshold, deep in the distribution's bulk
+	got := d.TailAtLeast(k)
+
+	exact := new(big.Float).SetPrec(200)
+	for _, v := range d.pmf[k:] {
+		exact.Add(exact, new(big.Float).SetFloat64(v))
+	}
+	want, _ := exact.Float64()
+	ulp := math.Nextafter(want, math.Inf(1)) - want
+	if math.Abs(got-want) > ulp {
+		t.Fatalf("compensated tail %v off exact %v by %g (> 1 ulp)", got, want, math.Abs(got-want))
+	}
+	naive := 0.0
+	for _, v := range d.pmf[k:] {
+		naive += v
+	}
+	if drift := math.Abs(naive - want); drift <= ulp {
+		t.Logf("note: naive drift %g within 1 ulp on this rate set", drift)
+	} else {
+		t.Logf("removed naive drift of %.0f ulps", math.Abs(naive-want)/ulp)
+	}
+	if math.Abs(naive-want) < math.Abs(got-want) {
+		t.Fatalf("naive sum closer than compensated: %g vs %g", math.Abs(naive-want), math.Abs(got-want))
 	}
 }

@@ -34,10 +34,12 @@ type Result struct {
 }
 
 // Engine is a long-lived concurrent JER evaluator: a bounded worker pool
-// plus an LRU memo keyed on the jury's error-rate multiset, so any jury —
-// in any member order, from any caller — is computed exactly once while
-// cached. Construct one per service and share it across requests; it is
-// safe for concurrent use.
+// plus a sharded LRU memo keyed on an order-invariant hash of the jury's
+// error-rate multiset, so any jury — in any member order, from any caller
+// — is computed exactly once while cached, and a warm hit costs one hash
+// pass and one shard-lock acquisition. Workers hold reusable JER kernels,
+// so steady-state batches do not allocate per jury. Construct one per
+// service and share it across requests; it is safe for concurrent use.
 type Engine struct {
 	eng *engine.Engine
 }
