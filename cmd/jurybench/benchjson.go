@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,6 +19,8 @@ import (
 	"juryselect/internal/experiments"
 	"juryselect/internal/jer"
 	"juryselect/internal/randx"
+	"juryselect/internal/server"
+	"juryselect/jury"
 )
 
 // benchEntry is one benchmark's measurement in the machine-readable
@@ -210,10 +215,97 @@ func benchRegistry() []namedBench {
 			}
 		}},
 	)
+	benches = append(benches, serverBenches()...)
 	for _, id := range experiments.List() {
 		benches = append(benches, namedBench{"experiment/" + id, experimentBench(id)})
 	}
 	return benches
+}
+
+// benchPoolJurors converts the shared juror generator to the public type
+// with stable IDs, as the pool store requires.
+func benchPoolJurors(n int) []jury.Juror {
+	raw := benchJurors(n)
+	out := make([]jury.Juror, n)
+	for i, j := range raw {
+		out[i] = jury.Juror{ID: fmt.Sprintf("j%04d", i), ErrorRate: j.ErrorRate, Cost: j.Cost}
+	}
+	return out
+}
+
+// serverBenches measures the serving path of cmd/juryd: full HTTP round
+// trips through internal/server (mirroring BenchmarkServerSelect and
+// BenchmarkServerJER in that package) and the pool store's snapshot read
+// and patch publication (BenchmarkPoolSnapshot, BenchmarkPoolPatch).
+func serverBenches() []namedBench {
+	httpBench := func(path, body string, setup func(*server.Server)) func(b *testing.B) {
+		return func(b *testing.B) {
+			srv := server.New(server.Config{})
+			if setup != nil {
+				setup(srv)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			raw := []byte(body)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("%s: status %d", path, resp.StatusCode)
+				}
+			}
+		}
+	}
+	withPool := func(n int) func(*server.Server) {
+		return func(s *server.Server) {
+			if _, err := s.Store().Put("crowd", benchPoolJurors(n)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	jerBody, err := json.Marshal(map[string]any{"error_rates": benchRates(7, 101)})
+	if err != nil {
+		panic(err)
+	}
+	return []namedBench{
+		{"ServerSelect/altr/n101", httpBench("/v1/select", `{"pool":"crowd"}`, withPool(101))},
+		{"ServerSelect/pay/n101", httpBench("/v1/select", `{"pool":"crowd","model":"pay","budget":5}`, withPool(101))},
+		{"ServerJER/n101", httpBench("/v1/jer", string(jerBody), nil)},
+		{"PoolSnapshot/n1001", func(b *testing.B) {
+			store := server.NewStore()
+			if _, err := store.Put("crowd", benchPoolJurors(1001)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, ok := store.Get("crowd")
+				if !ok || p.Size() != 1001 {
+					b.Fatal("bad snapshot")
+				}
+			}
+		}},
+		{"PoolPatch/n101", func(b *testing.B) {
+			store := server.NewStore()
+			if _, err := store.Put("crowd", benchPoolJurors(101)); err != nil {
+				b.Fatal(err)
+			}
+			up := []server.JurorUpdate{{ID: "j0050", Votes: &server.VoteObservation{Wrong: 1, Total: 4}}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Patch("crowd", up); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
 }
 
 // writeBenchJSON runs the tracked benchmark set in-process via

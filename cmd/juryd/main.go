@@ -1,0 +1,181 @@
+// Command juryd serves jury selection over HTTP/JSON: the paper's
+// decision-making primitive as an online service backed by a versioned
+// live juror-pool store.
+//
+// Usage:
+//
+//	juryd [-addr :8080] [-pool name=jurors.csv ...] [-workers N]
+//	      [-cache N] [-max-inflight N] [-max-queue N]
+//	      [-timeout 5s] [-max-timeout 30s] [-drain 10s]
+//
+// Endpoints:
+//
+//	POST   /v1/jer                   exact JER of one jury
+//	POST   /v1/select                minimum-JER jury from a pool or inline
+//	GET    /v1/pools                 list pools
+//	GET    /v1/pools/{name}          one pool snapshot (with jurors)
+//	PUT    /v1/pools/{name}/jurors   replace the pool
+//	PATCH  /v1/pools/{name}/jurors   incremental updates / observed votes
+//	DELETE /v1/pools/{name}          drop the pool
+//	GET    /healthz                  200 serving / 503 draining
+//	GET    /metrics                  request, shed and engine counters
+//
+// Each -pool flag preloads a pool from a CSV (id,error_rate[,cost]) or
+// JSON file, by extension. On SIGTERM or SIGINT the server stops
+// accepting work (healthz turns 503), drains in-flight requests for at
+// most -drain, then exits 0.
+//
+// Example:
+//
+//	$ juryd -addr :8080 -pool crowd=jurors.csv &
+//	$ curl -s localhost:8080/v1/select -d '{"pool":"crowd"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"juryselect/internal/dataio"
+	"juryselect/internal/server"
+	"juryselect/jury"
+)
+
+// poolFlags collects repeated -pool name=path flags.
+type poolFlags []string
+
+func (p *poolFlags) String() string { return strings.Join(*p, ",") }
+func (p *poolFlags) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+type config struct {
+	addr        string
+	pools       poolFlags
+	workers     int
+	cacheSize   int
+	maxInflight int
+	maxQueue    int
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	drain       time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Var(&cfg.pools, "pool", "preload a pool: name=jurors.csv or name=jurors.json (repeatable)")
+	flag.IntVar(&cfg.workers, "workers", 0, "engine worker pool (0 = all cores)")
+	flag.IntVar(&cfg.cacheSize, "cache", 0, "JER memo entries (0 = default, negative = disabled)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent evaluation requests (0 = all cores)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "queued evaluation requests before 429 shedding (0 = default, negative = no queue)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline (0 = 5s)")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "cap on request-supplied deadlines (0 = 30s)")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger := log.New(os.Stderr, "juryd: ", log.LstdFlags)
+	if err := run(ctx, cfg, logger, nil); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run builds the server, serves until ctx is cancelled, then drains.
+// When ready is non-nil it receives the bound address once the listener
+// is up (used by the tests to serve on a kernel-picked port).
+func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- string) error {
+	srv := server.New(server.Config{
+		Engine:         jury.NewEngine(jury.BatchOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
+		MaxInflight:    cfg.maxInflight,
+		MaxQueue:       cfg.maxQueue,
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+	})
+	for _, spec := range cfg.pools {
+		name, size, err := loadPool(srv.Store(), spec)
+		if err != nil {
+			return err
+		}
+		logger.Printf("loaded pool %q (%d jurors)", name, size)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip the health signal so load balancers stop
+	// routing here, then let in-flight and queued requests finish.
+	logger.Printf("draining (up to %s)", cfg.drain)
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}
+
+// loadPool parses one -pool flag ("name=path") and loads the file into
+// the store, choosing the reader by extension.
+func loadPool(store *server.Store, spec string) (name string, size int, err error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return "", 0, fmt.Errorf("bad -pool %q (want name=path)", spec)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	var jurors []jury.Juror
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		jurors, err = dataio.ReadCSV(f)
+	case ".json":
+		jurors, err = dataio.ReadJSON(f)
+	default:
+		return "", 0, fmt.Errorf("pool %q: unknown extension %q (want .csv or .json)", name, ext)
+	}
+	if err != nil {
+		return "", 0, fmt.Errorf("pool %q: %w", name, err)
+	}
+	if _, err := store.Put(name, jurors); err != nil {
+		return "", 0, fmt.Errorf("pool %q: %w", name, err)
+	}
+	return name, len(jurors), nil
+}

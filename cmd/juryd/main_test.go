@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"juryselect/internal/server"
+)
+
+const sampleCSV = `id,error_rate,cost
+A,0.1,0.15
+B,0.2,0.20
+C,0.2,0.25
+D,0.3,0.40
+E,0.3,0.65
+`
+
+func writeSample(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadPool(t *testing.T) {
+	csvPath := writeSample(t, "crowd.csv", sampleCSV)
+	jsonPath := writeSample(t, "crowd.json", `[{"id":"A","error_rate":0.1}]`)
+
+	store := server.NewStore()
+	name, size, err := loadPool(store, "crowd="+csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "crowd" || size != 5 {
+		t.Fatalf("loaded %q/%d, want crowd/5", name, size)
+	}
+	if _, _, err := loadPool(store, "tiny="+jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store holds %d pools", store.Len())
+	}
+
+	for _, bad := range []string{
+		"no-equals",
+		"=path.csv",
+		"name=",
+		"name=" + writeSample(t, "x.xml", "<jurors/>"),
+		"name=/nonexistent/file.csv",
+	} {
+		if _, _, err := loadPool(store, bad); err == nil {
+			t.Errorf("loadPool(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunServesAndDrainsCleanly boots the full binary path (run) on a
+// kernel-picked port, exercises /healthz and /v1/select, then cancels
+// the context — the SIGTERM path — and requires a clean drain.
+func TestRunServesAndDrainsCleanly(t *testing.T) {
+	csvPath := writeSample(t, "crowd.csv", sampleCSV)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var logBuf strings.Builder
+	go func() {
+		done <- run(ctx, config{
+			addr:  "127.0.0.1:0",
+			pools: poolFlags{"crowd=" + csvPath},
+			drain: 5 * time.Second,
+		}, log.New(&logBuf, "", 0), ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\n%s", err, logBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	sel, err := http.Post(base+"/v1/select", "application/json",
+		bytes.NewReader([]byte(`{"pool":"crowd"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Body.Close()
+	if sel.StatusCode != http.StatusOK {
+		t.Fatalf("select status %d", sel.StatusCode)
+	}
+	var selResp struct {
+		Selection struct {
+			Size int     `json:"size"`
+			JER  float64 `json:"jury_error_rate"`
+		} `json:"selection"`
+		PoolVersion uint64 `json:"pool_version"`
+	}
+	if err := json.NewDecoder(sel.Body).Decode(&selResp); err != nil {
+		t.Fatal(err)
+	}
+	if selResp.Selection.Size%2 != 1 || selResp.PoolVersion != 1 {
+		t.Fatalf("selection = %+v", selResp)
+	}
+
+	cancel() // the in-process SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v\n%s", err, logBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	if !strings.Contains(logBuf.String(), "drained cleanly") {
+		t.Errorf("log missing drain line:\n%s", logBuf.String())
+	}
+}
+
+func TestRunFailsOnBadPoolFlag(t *testing.T) {
+	err := run(context.Background(), config{
+		addr:  "127.0.0.1:0",
+		pools: poolFlags{"broken"},
+		drain: time.Second,
+	}, log.New(io.Discard, "", 0), nil)
+	if err == nil {
+		t.Fatal("bad -pool accepted")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the flag: %v", err)
+	}
+}
+
+func TestRunFailsOnUnbindableAddr(t *testing.T) {
+	err := run(context.Background(), config{
+		addr:  "256.0.0.1:1",
+		drain: time.Second,
+	}, log.New(io.Discard, "", 0), nil)
+	if err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}

@@ -10,7 +10,10 @@
 // array of {"id","error_rate","cost"} objects. Pass "-" to read standard
 // input. Under -model altr the exact AltrALG optimum is returned; under
 // -model pay the PayALG heuristic is used (or exact enumeration with
-// -exact, for at most 26 candidates). -json switches the report to JSON.
+// -exact, for at most 26 candidates). -json switches the report to the
+// canonical Selection JSON — the same shape cmd/juryd returns under
+// "selection" in /v1/select responses, so CLI and service payloads are
+// interchangeable.
 //
 // Example:
 //

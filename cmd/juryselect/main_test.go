@@ -64,7 +64,10 @@ func TestRunJSONOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"model": "altr"`, `"size": 5`, `"jurors"`} {
+	// The report is the canonical dataio.SelectionJSON shape the juryd
+	// service returns under "selection": jurors are full objects, not
+	// bare IDs, so CLI and service payloads are interchangeable.
+	for _, want := range []string{`"model": "altr"`, `"size": 5`, `"jurors"`, `"id": "A"`, `"error_rate": 0.1`, `"evaluations"`} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("JSON output missing %s:\n%s", want, out.String())
 		}

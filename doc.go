@@ -12,8 +12,10 @@
 //
 // The benchmark harness regenerating every table and figure of the paper
 // lives in bench_test.go (go test -bench=.) and in cmd/jurybench (full
-// paper-scale runs); cmd/juryselect selects juries from CSV/JSON files.
-// See README.md for a quick start, DESIGN.md for the system inventory and
-// the engine's concurrency model, and EXPERIMENTS.md for paper-vs-measured
+// paper-scale runs); cmd/juryselect selects juries from CSV/JSON files,
+// and cmd/juryd serves selection over HTTP/JSON with live, versioned
+// juror pools (internal/server). See README.md for a quick start,
+// DESIGN.md for the system inventory, the engine's concurrency model and
+// the service layer (§10), and EXPERIMENTS.md for paper-vs-measured
 // results.
 package juryselect

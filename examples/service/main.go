@@ -1,0 +1,100 @@
+// Service walkthrough: run the juryd service in-process and drive it as
+// a client — the online framing of the paper, where juror error rates
+// drift as users act and every selection answers "whom should we ask
+// right now?".
+//
+// The walkthrough:
+//
+//  1. Start the server on a loopback port.
+//  2. PUT the Figure 1 crowd as the live pool "crowd".
+//  3. POST /v1/select — the classic {A,B,C,D,E} jury of Table 2.
+//  4. PATCH observed votes: G answers 500 resolved tasks almost
+//     perfectly, so its error-rate estimate collapses.
+//  5. POST /v1/select again — same question, new answer, and the
+//     response names the exact pool version it was computed from.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"juryselect/internal/server"
+)
+
+func main() {
+	// An in-process juryd: the same server cmd/juryd mounts behind flags.
+	srv := server.New(server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("juryd serving on %s\n\n", base)
+
+	// Step 1: publish the Figure 1 crowd as a live pool.
+	call("PUT", base+"/v1/pools/crowd/jurors", `{
+		"jurors": [
+			{"id": "A", "error_rate": 0.1},
+			{"id": "B", "error_rate": 0.2},
+			{"id": "C", "error_rate": 0.2},
+			{"id": "D", "error_rate": 0.3},
+			{"id": "E", "error_rate": 0.3},
+			{"id": "F", "error_rate": 0.4},
+			{"id": "G", "error_rate": 0.4}
+		]
+	}`)
+
+	// Step 2: whom to ask right now?
+	call("POST", base+"/v1/select", `{"pool": "crowd"}`)
+
+	// Step 3: G votes on 500 resolved tasks and is wrong only 5 times;
+	// the service folds the record into its error rate (§4.1.3 estimate
+	// drifting under live evidence).
+	call("PATCH", base+"/v1/pools/crowd/jurors", `{
+		"updates": [{"id": "G", "votes": {"wrong": 5, "total": 500}}]
+	}`)
+
+	// Step 4: the same question now selects a different jury, and
+	// pool_version pins exactly which snapshot answered.
+	call("POST", base+"/v1/select", `{"pool": "crowd"}`)
+
+	// The service's own counters.
+	call("GET", base+"/metrics", "")
+}
+
+// call issues one request and prints a curl-style transcript line plus
+// the indented response body.
+func call(method, url, body string) {
+	var r io.Reader
+	if body != "" {
+		r = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, raw, "  ", "  "); err != nil {
+		pretty.Write(raw)
+	}
+	fmt.Printf("%s %s → %s\n  %s\n\n", method, url, resp.Status, pretty.String())
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"juryselect/internal/jer"
 )
 
@@ -22,6 +24,17 @@ type AltrOptions struct {
 	// MaxSize caps the largest jury size considered (0 = no cap, sweep to
 	// N). Useful when the caller knows the optimum is small.
 	MaxSize int
+	// Presorted declares cands already validated and sorted ascending by
+	// error rate (e.g. an immutable pool-store snapshot shared across
+	// requests): SelectAltr skips re-validation and re-sorting and scans
+	// the slice as-is, without copying it. The caller owns both
+	// invariants; a violated one silently yields a suboptimal jury.
+	Presorted bool
+	// Ctx, when non-nil, is polled between prefix sizes: cancellation
+	// aborts the scan with ctx.Err(). A JER kernel already running for
+	// the current size completes normally (kernels are not
+	// interruptible), matching the engine's EvaluateAll contract.
+	Ctx context.Context
 }
 
 // SelectAltr solves JSP under the Altruism Jurors Model with Algorithm 3:
@@ -30,10 +43,15 @@ type AltrOptions struct {
 // guarantees the optimal jury of each size is a prefix of the sorted order,
 // so the returned jury is exactly optimal.
 func SelectAltr(cands []Juror, opts AltrOptions) (Selection, error) {
-	if err := ValidateCandidates(cands); err != nil {
-		return Selection{}, err
+	sorted := cands
+	if !opts.Presorted {
+		if err := ValidateCandidates(cands); err != nil {
+			return Selection{}, err
+		}
+		sorted = sortByErrorRate(cands)
+	} else if len(sorted) == 0 {
+		return Selection{}, ErrNoCandidates
 	}
-	sorted := sortByErrorRate(cands)
 	maxN := len(sorted)
 	if opts.MaxSize > 0 && opts.MaxSize < maxN {
 		maxN = opts.MaxSize
@@ -57,6 +75,9 @@ func altrFaithful(sorted []Juror, maxN int, opts AltrOptions) (Selection, error)
 	best := Selection{JER: 2} // sentinel above any probability
 	bestN := 0
 	for n := 1; n <= maxN; n += 2 {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return Selection{}, err
+		}
 		prefix := rates[:n]
 		if opts.UseLowerBound && bestN > 0 {
 			// Lines 5–6 of Algorithm 3: the bound is only applicable when
@@ -82,6 +103,14 @@ func altrFaithful(sorted []Juror, maxN int, opts AltrOptions) (Selection, error)
 	return best, nil
 }
 
+// ctxErr reports the cancellation state of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // altrIncremental maintains the exact wrong-vote distribution across prefix
 // sizes with jer.Sweep, so extending the prefix by two jurors costs O(n)
 // instead of a fresh O(n²) or O(n log² n) evaluation.
@@ -90,6 +119,9 @@ func altrIncremental(sorted []Juror, maxN int, opts AltrOptions) (Selection, err
 	best := Selection{JER: 2}
 	bestN := 0
 	for n := 1; n <= maxN; n += 2 {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return Selection{}, err
+		}
 		// Extend the distribution to size n (two appends after the first).
 		for sweep.N() < n {
 			if err := sweep.Extend(sorted[sweep.N()].ErrorRate); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -28,6 +29,15 @@ import (
 //
 // workers ≤ 0 selects runtime.GOMAXPROCS(0).
 func SelectOptParallel(cands []Juror, budget float64, workers int) (Selection, error) {
+	return SelectOptParallelCtx(nil, cands, budget, workers)
+}
+
+// SelectOptParallelCtx is SelectOptParallel with cancellation: workers
+// poll ctx between shards (a shard is at most 2^(n-8) leaves, a few
+// milliseconds at the 26-candidate cap), so a serving layer's deadline
+// bounds the enumeration. A nil ctx never cancels. On cancellation the
+// partial result is discarded and ctx.Err() returned.
+func SelectOptParallelCtx(ctx context.Context, cands []Juror, budget float64, workers int) (Selection, error) {
 	if err := ValidateCandidates(cands); err != nil {
 		return Selection{}, err
 	}
@@ -64,6 +74,9 @@ func SelectOptParallel(cands []Juror, budget float64, workers int) (Selection, e
 		go func() {
 			defer wg.Done()
 			for {
+				if ctxErr(ctx) != nil {
+					return
+				}
 				s := int(next.Add(1)) - 1
 				if s >= shards {
 					return
@@ -73,6 +86,9 @@ func SelectOptParallel(cands []Juror, budget float64, workers int) (Selection, e
 		}()
 	}
 	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return Selection{}, err
+	}
 
 	// Merge in serial visit order: shard s encodes candidate i's inclusion
 	// in bit (k-1-i), so ascending s reproduces the exclude-first DFS

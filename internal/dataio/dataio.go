@@ -83,16 +83,22 @@ func WriteCSV(w io.Writer, jurors []core.Juror) error {
 	return cw.Error()
 }
 
-// jurorJSON is the JSON wire form of a juror.
-type jurorJSON struct {
+// JurorJSON is the JSON wire form of a juror, shared by the CSV/JSON file
+// formats, cmd/juryselect -json, and the juryd service payloads.
+type JurorJSON struct {
 	ID        string  `json:"id"`
 	ErrorRate float64 `json:"error_rate"`
 	Cost      float64 `json:"cost,omitempty"`
 }
 
+// Juror converts the wire form back to the model type (unvalidated).
+func (j JurorJSON) Juror() core.Juror {
+	return core.Juror{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
+}
+
 // ReadJSON parses jurors from a JSON array and validates them.
 func ReadJSON(r io.Reader) ([]core.Juror, error) {
-	var raw []jurorJSON
+	var raw []JurorJSON
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&raw); err != nil {
@@ -103,7 +109,7 @@ func ReadJSON(r io.Reader) ([]core.Juror, error) {
 	}
 	jurors := make([]core.Juror, len(raw))
 	for i, rj := range raw {
-		jurors[i] = core.Juror{ID: rj.ID, ErrorRate: rj.ErrorRate, Cost: rj.Cost}
+		jurors[i] = rj.Juror()
 		if err := jurors[i].Validate(); err != nil {
 			return nil, fmt.Errorf("dataio: juror %d: %w", i, err)
 		}
@@ -113,9 +119,9 @@ func ReadJSON(r io.Reader) ([]core.Juror, error) {
 
 // WriteJSON writes jurors as an indented JSON array.
 func WriteJSON(w io.Writer, jurors []core.Juror) error {
-	raw := make([]jurorJSON, len(jurors))
+	raw := make([]JurorJSON, len(jurors))
 	for i, j := range jurors {
-		raw[i] = jurorJSON{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
+		raw[i] = JurorJSON{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -125,28 +131,40 @@ func WriteJSON(w io.Writer, jurors []core.Juror) error {
 	return nil
 }
 
-// SelectionJSON is the JSON report form of a selection outcome, used by
-// cmd/juryselect -json.
+// SelectionJSON is the canonical JSON report form of a selection outcome.
+// cmd/juryselect -json emits it and the juryd service nests it under
+// "selection" in its /v1/select responses, so CLI and service payloads
+// are interchangeable.
 type SelectionJSON struct {
-	Model   string   `json:"model"`
-	Budget  float64  `json:"budget,omitempty"`
-	Size    int      `json:"size"`
-	JER     float64  `json:"jury_error_rate"`
-	Cost    float64  `json:"total_cost"`
-	JurorID []string `json:"jurors"`
+	Model       string      `json:"model"`
+	Budget      float64     `json:"budget,omitempty"`
+	Size        int         `json:"size"`
+	JER         float64     `json:"jury_error_rate"`
+	Cost        float64     `json:"total_cost"`
+	Jurors      []JurorJSON `json:"jurors"`
+	Evaluations int         `json:"evaluations,omitempty"`
+}
+
+// NewSelectionJSON builds the wire form of a selection outcome.
+func NewSelectionJSON(model string, budget float64, sel core.Selection) SelectionJSON {
+	rep := SelectionJSON{
+		Model:       model,
+		Budget:      budget,
+		Size:        sel.Size(),
+		JER:         sel.JER,
+		Cost:        sel.Cost,
+		Jurors:      make([]JurorJSON, len(sel.Jurors)),
+		Evaluations: sel.Evaluations,
+	}
+	for i, j := range sel.Jurors {
+		rep.Jurors[i] = JurorJSON{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
+	}
+	return rep
 }
 
 // WriteSelection writes a selection report as indented JSON.
 func WriteSelection(w io.Writer, model string, budget float64, sel core.Selection) error {
-	rep := SelectionJSON{
-		Model:   model,
-		Budget:  budget,
-		Size:    sel.Size(),
-		JER:     sel.JER,
-		Cost:    sel.Cost,
-		JurorID: sel.IDs(),
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(NewSelectionJSON(model, budget, sel))
 }

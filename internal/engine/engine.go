@@ -89,6 +89,11 @@ type Stats struct {
 	// CacheHits counts requests served from the memo (including joins of
 	// an in-flight computation).
 	CacheHits int64
+	// Inflight is the number of evaluation requests (Evaluate calls and
+	// EvaluateAll batches) executing at the moment of the snapshot. A
+	// serving layer uses it as the engine-side queue-depth signal for
+	// load shedding and health reporting.
+	Inflight int64
 }
 
 // Engine evaluates batches of juries concurrently. It is safe for
@@ -101,8 +106,9 @@ type Engine struct {
 	cacheMin int
 	cache    *shardedCache // nil when caching is disabled
 
-	evals atomic.Int64
-	hits  atomic.Int64
+	evals    atomic.Int64
+	hits     atomic.Int64
+	inflight atomic.Int64
 }
 
 // call is one in-flight JER computation that late arrivals can join.
@@ -144,7 +150,11 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Evaluations: e.evals.Load(), CacheHits: e.hits.Load()}
+	return Stats{
+		Evaluations: e.evals.Load(),
+		CacheHits:   e.hits.Load(),
+		Inflight:    e.inflight.Load(),
+	}
 }
 
 // Evaluate returns the exact JER of one jury. Juries below the
@@ -154,10 +164,25 @@ func (e *Engine) Stats() Stats {
 // before, so their value is identical for every permutation. It never
 // blocks on other juries — only on an identical in-flight computation.
 func (e *Engine) Evaluate(rates []float64) (float64, error) {
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
 	s := scratchPool.Get().(*evalScratch)
 	v, err := e.evaluate(rates, s)
 	scratchPool.Put(s)
 	return v, err
+}
+
+// EvaluateContext is Evaluate with the cancellation semantics EvaluateAll
+// documents: a context that is already done means the evaluation is never
+// started and ctx.Err() is returned; once the kernel is running it
+// completes normally (JER kernels are not interruptible mid-computation).
+// Single-evaluation callers on a request path — e.g. an HTTP handler with
+// a per-request deadline — get the same contract as batch callers.
+func (e *Engine) EvaluateContext(ctx context.Context, rates []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.Evaluate(rates)
 }
 
 // evaluate is Evaluate on an explicit scratch, so batch workers amortize
@@ -243,6 +268,8 @@ func (e *Engine) EvaluateAll(ctx context.Context, rateSets [][]float64) []Result
 	if len(rateSets) == 0 {
 		return out
 	}
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
 	workers := e.workers
 	if workers > len(rateSets) {
 		workers = len(rateSets)

@@ -3,8 +3,10 @@ package engine
 import (
 	"context"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"juryselect/internal/jer"
 	"juryselect/internal/randx"
@@ -317,5 +319,57 @@ func TestMemoValueIsCanonical(t *testing.T) {
 	}
 	if st := e.Stats(); st.Evaluations != 1 || st.CacheHits != 2 {
 		t.Fatalf("stats = %+v, want 1 evaluation + 2 hits", st)
+	}
+}
+
+func TestEvaluateContext(t *testing.T) {
+	e := New(Options{})
+	rates := randomJuries(1, 9, 5)[0]
+	want, err := e.Evaluate(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EvaluateContext(context.Background(), rates)
+	if err != nil || got != want {
+		t.Fatalf("EvaluateContext = %g/%v, want %g", got, err, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvaluateContext(ctx, rates); err != context.Canceled {
+		t.Fatalf("cancelled context error = %v, want context.Canceled", err)
+	}
+}
+
+func TestInflightStat(t *testing.T) {
+	e := New(Options{Workers: 2})
+	if got := e.Stats().Inflight; got != 0 {
+		t.Fatalf("idle inflight = %d", got)
+	}
+	// Run one long evaluation in the background and poll the gauge up:
+	// it must read 1 while the kernel runs and fall back to 0 after.
+	// The jury is large enough that the kernel outlives the scheduler's
+	// ~10ms preemption quantum, so on a single-CPU machine the polling
+	// loop is guaranteed slices of the evaluation window; Gosched (not
+	// Sleep) hands the processor over eagerly.
+	rates := randomJuries(1, 40001, 7)[0]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := e.Evaluate(rates); err != nil {
+			t.Error(err)
+		}
+	}()
+	sawInflight := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !sawInflight && time.Now().Before(deadline) {
+		sawInflight = e.Stats().Inflight == 1
+		runtime.Gosched()
+	}
+	<-done
+	if !sawInflight {
+		t.Error("inflight gauge never rose during an evaluation")
+	}
+	if got := e.Stats().Inflight; got != 0 {
+		t.Errorf("inflight after evaluation = %d, want 0", got)
 	}
 }

@@ -6,6 +6,7 @@ package estimate
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -72,6 +73,44 @@ func ErrorRates(scores []float64, alpha, beta float64) ([]float64, error) {
 		out[i] = e
 	}
 	return out, nil
+}
+
+// DefaultPriorWeight is the pseudo-count the live-update path assigns to a
+// juror's current error rate when folding in newly observed votes: the
+// prior counts as ten virtual tasks, so a handful of observations nudges
+// the estimate while a long voting record dominates it.
+const DefaultPriorWeight = 10
+
+// PosteriorRate folds observed voting outcomes into a juror's error rate
+// as a Beta–Bernoulli posterior mean:
+//
+//	ε' = (ε·w + wrong) / (w + total)
+//
+// where ε is the current (prior) estimate, w its pseudo-count weight, and
+// wrong/total the newly observed outcomes (wrong = votes against the
+// resolved truth). This is the incremental form of the §4.1.3 pipeline's
+// output drifting under live evidence: applying batches one at a time
+// with w growing by each batch's total is identical to one application
+// over the concatenated record. The result is clamped strictly inside
+// (0,1) as Definition 4 requires.
+func PosteriorRate(prior, priorWeight float64, wrong, total int64) (float64, error) {
+	if math.IsNaN(prior) || prior <= 0 || prior >= 1 {
+		return 0, fmt.Errorf("estimate: prior rate %g outside (0,1)", prior)
+	}
+	if math.IsNaN(priorWeight) || priorWeight <= 0 {
+		return 0, fmt.Errorf("estimate: prior weight %g must be positive", priorWeight)
+	}
+	if wrong < 0 || total < 0 || wrong > total {
+		return 0, fmt.Errorf("estimate: invalid vote counts wrong=%d total=%d", wrong, total)
+	}
+	e := (prior*priorWeight + float64(wrong)) / (priorWeight + float64(total))
+	if e <= 0 {
+		e = epsClamp
+	}
+	if e >= 1 {
+		e = 1 - epsClamp
+	}
+	return e, nil
 }
 
 // Requirements maps account ages to payment requirements with the

@@ -172,3 +172,98 @@ func TestRequirementsRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPosteriorRateNoEvidenceKeepsPrior(t *testing.T) {
+	got, err := PosteriorRate(0.3, DefaultPriorWeight, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.3 {
+		t.Errorf("posterior with no votes = %g, want prior 0.3", got)
+	}
+}
+
+func TestPosteriorRateMovesTowardEvidence(t *testing.T) {
+	// A juror estimated at 0.3 who then answers 100 tasks all correctly
+	// must end up well below 0.3 but strictly above 0.
+	down, err := PosteriorRate(0.3, DefaultPriorWeight, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down >= 0.3 || down <= 0 {
+		t.Errorf("all-correct posterior = %g, want in (0, 0.3)", down)
+	}
+	// All wrong: toward 1, never reaching it.
+	up, err := PosteriorRate(0.3, DefaultPriorWeight, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up <= 0.3 || up >= 1 {
+		t.Errorf("all-wrong posterior = %g, want in (0.3, 1)", up)
+	}
+	// Exact value: (0.3*10 + 100) / (10 + 100).
+	if want := 103.0 / 110.0; math.Abs(up-want) > 1e-15 {
+		t.Errorf("posterior = %g, want %g", up, want)
+	}
+}
+
+func TestPosteriorRateBatchingIsAssociative(t *testing.T) {
+	// Folding two batches sequentially (weight growing by each batch's
+	// total) equals folding the concatenated record once.
+	const w = DefaultPriorWeight
+	step1, err := PosteriorRate(0.25, w, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step2, err := PosteriorRate(step1, w+10, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := PosteriorRate(0.25, w, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(step2-once) > 1e-15 {
+		t.Errorf("sequential %g vs one-shot %g", step2, once)
+	}
+}
+
+func TestPosteriorRateValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		prior, w     float64
+		wrong, total int64
+	}{
+		{"prior zero", 0, 10, 1, 2},
+		{"prior one", 1, 10, 1, 2},
+		{"prior NaN", math.NaN(), 10, 1, 2},
+		{"weight zero", 0.3, 0, 1, 2},
+		{"weight NaN", 0.3, math.NaN(), 1, 2},
+		{"negative wrong", 0.3, 10, -1, 2},
+		{"negative total", 0.3, 10, 0, -2},
+		{"wrong exceeds total", 0.3, 10, 3, 2},
+	}
+	for _, tc := range cases {
+		if _, err := PosteriorRate(tc.prior, tc.w, tc.wrong, tc.total); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestPosteriorRateStaysInOpenUnitInterval(t *testing.T) {
+	f := func(prior float64, wrong, total uint16) bool {
+		p := math.Mod(math.Abs(prior), 1)
+		if p == 0 {
+			p = 0.5
+		}
+		w, tot := int64(wrong), int64(total)
+		if w > tot {
+			w, tot = tot, w
+		}
+		got, err := PosteriorRate(p, DefaultPriorWeight, w, tot)
+		return err == nil && got > 0 && got < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics holds the server's counters: expvar vars owned by the Server
+// rather than published to the process-global expvar registry, so many
+// servers can coexist in one process (tests, embedded uses). /metrics
+// serves them as one JSON document, folding in the engine's counters as
+// gauges at scrape time.
+type metrics struct {
+	requests   expvar.Int // HTTP requests accepted by any /v1 handler
+	selections expvar.Int // successful /v1/select responses
+	jerServed  expvar.Int // successful /v1/jer responses
+	poolWrites expvar.Int // successful pool PUT/PATCH/DELETE
+	shed       expvar.Int // requests rejected 429 by admission control
+	errors     expvar.Int // 5xx and 429 responses
+
+	queued   atomic.Int64 // requests waiting for an inflight slot
+	draining atomic.Bool  // drain signal for /healthz
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Pools    int    `json:"pools"`
+	Inflight int    `json:"inflight"`
+	Queued   int    `json:"queued"`
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once the
+// process is draining, so load balancers stop routing new work while
+// in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:   "ok",
+		Pools:    s.store.Len(),
+		Inflight: len(s.sem),
+		Queued:   int(s.m.queued.Load()),
+	}
+	status := http.StatusOK
+	if s.m.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// metricsResponse is the body of GET /metrics: the server counters plus
+// the engine's evaluation/cache/inflight gauges (Engine.CacheStats and
+// Stats), and the admission-control occupancy.
+type metricsResponse struct {
+	Requests   int64 `json:"requests"`
+	Selections int64 `json:"selections"`
+	JERServed  int64 `json:"jer_served"`
+	PoolWrites int64 `json:"pool_writes"`
+	Shed       int64 `json:"shed"`
+	Errors     int64 `json:"errors"`
+
+	Inflight    int   `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	Queued      int64 `json:"queued"`
+	MaxQueue    int   `json:"max_queue"`
+
+	EngineEvaluations int64 `json:"engine_evaluations"`
+	EngineCacheHits   int64 `json:"engine_cache_hits"`
+	EngineInflight    int64 `json:"engine_inflight"`
+	EngineWorkers     int   `json:"engine_workers"`
+
+	Pools int `json:"pools"`
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Requests:          s.m.requests.Value(),
+		Selections:        s.m.selections.Value(),
+		JERServed:         s.m.jerServed.Value(),
+		PoolWrites:        s.m.poolWrites.Value(),
+		Shed:              s.m.shed.Value(),
+		Errors:            s.m.errors.Value(),
+		Inflight:          len(s.sem),
+		MaxInflight:       s.maxInflight,
+		Queued:            s.m.queued.Load(),
+		MaxQueue:          s.maxQueue,
+		EngineEvaluations: st.Evaluations,
+		EngineCacheHits:   st.CacheHits,
+		EngineInflight:    st.Inflight,
+		EngineWorkers:     s.eng.Workers(),
+		Pools:             s.store.Len(),
+	})
+}

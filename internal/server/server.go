@@ -1,0 +1,476 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"juryselect/internal/core"
+	"juryselect/internal/dataio"
+	"juryselect/internal/pbdist"
+	"juryselect/jury"
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxQueue is the admission queue bound: evaluation requests
+	// beyond MaxInflight wait here; beyond it they are shed with 429.
+	DefaultMaxQueue = 64
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry one.
+	DefaultTimeout = 5 * time.Second
+	// DefaultMaxTimeout caps the deadline a request may ask for.
+	DefaultMaxTimeout = 30 * time.Second
+	// DefaultMaxBodyBytes bounds request bodies (candidate sets of about
+	// 100k jurors still fit).
+	DefaultMaxBodyBytes = 8 << 20
+)
+
+// Config configures a Server. The zero value selects sensible defaults.
+type Config struct {
+	// Engine is the shared JER engine; nil constructs a default one.
+	Engine *jury.Engine
+	// Store is the pool store; nil constructs an empty one.
+	Store *Store
+	// MaxInflight bounds concurrently executing evaluation requests
+	// (/v1/jer and /v1/select). Zero selects runtime.GOMAXPROCS(0):
+	// selection saturates a core, so admitting more in parallel only
+	// queues them inside the engine with worse tail latency.
+	MaxInflight int
+	// MaxQueue bounds how many admitted requests may wait for an
+	// inflight slot before the server sheds with 429. Zero selects
+	// DefaultMaxQueue; negative disables queueing (immediate shed).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline applied when the
+	// request carries none. Zero selects DefaultTimeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines. Zero selects
+	// DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Zero selects
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server serves jury selection over HTTP/JSON. Construct with New, mount
+// Handler on an http.Server, and share one Server across all connections;
+// all methods are safe for concurrent use.
+type Server struct {
+	eng   *jury.Engine
+	store *Store
+
+	maxInflight int
+	maxQueue    int
+	defTimeout  time.Duration
+	maxTimeout  time.Duration
+	maxBody     int64
+
+	sem chan struct{} // inflight slots for evaluation requests
+	m   metrics
+	mux *http.ServeMux
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		eng:         cfg.Engine,
+		store:       cfg.Store,
+		maxInflight: cfg.MaxInflight,
+		maxQueue:    cfg.MaxQueue,
+		defTimeout:  cfg.DefaultTimeout,
+		maxTimeout:  cfg.MaxTimeout,
+		maxBody:     cfg.MaxBodyBytes,
+	}
+	if s.eng == nil {
+		s.eng = jury.NewEngine(jury.BatchOptions{})
+	}
+	if s.store == nil {
+		s.store = NewStore()
+	}
+	if s.maxInflight <= 0 {
+		s.maxInflight = runtime.GOMAXPROCS(0)
+	}
+	if s.maxQueue == 0 {
+		s.maxQueue = DefaultMaxQueue
+	} else if s.maxQueue < 0 {
+		s.maxQueue = 0
+	}
+	if s.defTimeout <= 0 {
+		s.defTimeout = DefaultTimeout
+	}
+	if s.maxTimeout <= 0 {
+		s.maxTimeout = DefaultMaxTimeout
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	s.sem = make(chan struct{}, s.maxInflight)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jer", s.counted(s.handleJER))
+	s.mux.HandleFunc("POST /v1/select", s.counted(s.handleSelect))
+	s.mux.HandleFunc("GET /v1/pools", s.counted(s.handlePoolList))
+	s.mux.HandleFunc("GET /v1/pools/{name}", s.counted(s.handlePoolGet))
+	s.mux.HandleFunc("PUT /v1/pools/{name}/jurors", s.counted(s.handlePoolPut))
+	s.mux.HandleFunc("PATCH /v1/pools/{name}/jurors", s.counted(s.handlePoolPatch))
+	s.mux.HandleFunc("DELETE /v1/pools/{name}", s.counted(s.handlePoolDelete))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the server's pool store, e.g. for initial pool loading.
+func (s *Server) Store() *Store { return s.store }
+
+// Engine returns the server's shared JER engine.
+func (s *Server) Engine() *jury.Engine { return s.eng }
+
+// SetDraining flips the health signal: while draining, /healthz returns
+// 503 so load balancers stop routing here, while in-flight and queued
+// requests complete. cmd/juryd sets it on SIGTERM before http shutdown.
+func (s *Server) SetDraining(v bool) { s.m.draining.Store(v) }
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errShed is returned by admit when the queue is full.
+var errShed = &httpError{status: http.StatusTooManyRequests, msg: "server overloaded, retry later"}
+
+// admit reserves an inflight slot for an evaluation request, queueing up
+// to maxQueue waiters and shedding beyond that. On success the returned
+// release must be called when the evaluation finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if int(s.m.queued.Add(1)) > s.maxQueue {
+		s.m.queued.Add(-1)
+		s.m.shed.Add(1)
+		return nil, errShed
+	}
+	defer s.m.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// deadline resolves the effective per-request timeout: the request's
+// timeout_ms when given (clamped to the configured maximum), otherwise
+// the server default.
+func (s *Server) deadline(timeoutMS int64) (time.Duration, error) {
+	if timeoutMS < 0 {
+		return 0, badRequest("timeout_ms must be positive, got %d", timeoutMS)
+	}
+	d := s.defTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.maxTimeout {
+			d = s.maxTimeout
+		}
+	}
+	return d, nil
+}
+
+// counted wraps a handler with the request counter.
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// decode parses a JSON request body with a size bound and strict fields.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// writeJSON encodes a 2xx JSON response.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body) //nolint:errcheck // headers are already out
+}
+
+// fail maps an error to its HTTP status and writes the JSON error body.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrPoolNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrUnknownJuror), errors.Is(err, ErrNoUpdates),
+		errors.Is(err, jury.ErrNoCandidates), errors.Is(err, jury.ErrEmptyJury),
+		errors.Is(err, pbdist.ErrRateOutOfRange):
+		status = http.StatusBadRequest
+	case errors.Is(err, jury.ErrNoFeasibleJury):
+		status = http.StatusUnprocessableEntity
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	if status >= 500 || status == http.StatusTooManyRequests {
+		s.m.errors.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// handleJER serves POST /v1/jer: the exact JER of one jury.
+func (s *Server) handleJER(w http.ResponseWriter, r *http.Request) {
+	var req JERRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.ErrorRates) == 0 {
+		s.fail(w, badRequest("error_rates must be non-empty"))
+		return
+	}
+	d, err := s.deadline(req.TimeoutMS)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+	v, err := s.eng.JERContext(ctx, req.ErrorRates)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.jerServed.Add(1)
+	writeJSON(w, http.StatusOK, JERResponse{JER: v, Size: len(req.ErrorRates)})
+}
+
+// handleSelect serves POST /v1/select: pick the minimum-JER jury from a
+// named pool snapshot or an inline candidate set.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	d, err := s.deadline(req.TimeoutMS)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	model := req.Model
+	if model == "" {
+		model = "altr"
+	}
+	if model != "altr" && model != "pay" {
+		s.fail(w, badRequest("unknown model %q (want altr or pay)", model))
+		return
+	}
+
+	// Resolve the candidate set. A named pool resolves to its current
+	// snapshot here, once: everything after this line — including the
+	// response's pool_version — reads that one immutable snapshot, no
+	// matter how many PATCHes land meanwhile.
+	var (
+		pool  *Pool
+		cands []jury.Juror
+	)
+	switch {
+	case req.Pool != "" && req.Candidates != nil:
+		s.fail(w, badRequest("pool and candidates are mutually exclusive"))
+		return
+	case req.Pool != "":
+		p, ok := s.store.Get(req.Pool)
+		if !ok {
+			s.fail(w, fmt.Errorf("%w: %q", ErrPoolNotFound, req.Pool))
+			return
+		}
+		pool = p
+	case len(req.Candidates) > 0:
+		cands = make([]jury.Juror, len(req.Candidates))
+		for i, c := range req.Candidates {
+			cands[i] = c.Juror()
+		}
+		// Inline candidates are client input: validate at the boundary so
+		// malformed jurors answer 400, before a queue slot is spent.
+		if err := core.ValidateCandidates(cands); err != nil {
+			s.fail(w, badRequest("%v", err))
+			return
+		}
+	default:
+		s.fail(w, badRequest("request must name a pool or carry candidates"))
+		return
+	}
+	switch {
+	case model == "pay" && req.Budget < 0:
+		s.fail(w, badRequest("budget must be non-negative, got %g", req.Budget))
+		return
+	case model == "altr" && (req.Budget != 0 || req.Exact):
+		// Silently ignoring these and echoing the budget back would let a
+		// client believe a constraint was applied when it was not.
+		s.fail(w, badRequest("budget and exact apply only to model \"pay\""))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	var sel jury.Selection
+	switch {
+	case model == "altr" && pool != nil:
+		// The snapshot is validated and ε-sorted at ingest: the hot path
+		// runs with no re-validation, no sort, and no lock.
+		sel, err = s.eng.SelectAltruisticSnapshot(ctx, pool.Sorted())
+	case model == "altr":
+		sel, err = s.eng.SelectAltruisticSnapshot(ctx, core.SortedByErrorRate(cands))
+	default: // pay
+		if pool != nil {
+			cands = pool.Sorted()
+		}
+		if req.Exact {
+			if len(cands) > jury.MaxExactCandidates {
+				err = badRequest("exact enumeration accepts at most %d candidates, got %d",
+					jury.MaxExactCandidates, len(cands))
+				break
+			}
+			sel, err = s.eng.SelectExactContext(ctx, cands, req.Budget)
+		} else {
+			sel, err = s.eng.SelectBudgetedContext(ctx, cands, req.Budget)
+		}
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.selections.Add(1)
+	resp := SelectResponse{Selection: dataio.NewSelectionJSON(model, req.Budget, sel)}
+	if pool != nil {
+		resp.Pool = pool.Name
+		resp.PoolVersion = pool.Version
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePoolList serves GET /v1/pools.
+func (s *Server) handlePoolList(w http.ResponseWriter, r *http.Request) {
+	pools := s.store.List()
+	out := PoolListResponse{Pools: make([]PoolResponse, len(pools))}
+	for i, p := range pools {
+		out.Pools[i] = poolResponse(p, false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePoolGet serves GET /v1/pools/{name}.
+func (s *Server) handlePoolGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	p, ok := s.store.Get(name)
+	if !ok {
+		s.fail(w, fmt.Errorf("%w: %q", ErrPoolNotFound, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, poolResponse(p, true))
+}
+
+// handlePoolPut serves PUT /v1/pools/{name}/jurors: full replacement
+// (creating the pool when absent).
+func (s *Server) handlePoolPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req PutJurorsRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	jurors := make([]jury.Juror, len(req.Jurors))
+	for i, j := range req.Jurors {
+		jurors[i] = j.Juror()
+	}
+	p, err := s.store.Put(name, jurors)
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+	s.m.poolWrites.Add(1)
+	writeJSON(w, http.StatusOK, poolResponse(p, false))
+}
+
+// handlePoolPatch serves PATCH /v1/pools/{name}/jurors: incremental
+// updates, including folding observed votes into error rates.
+func (s *Server) handlePoolPatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req PatchJurorsRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ups := make([]JurorUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		ups[i] = JurorUpdate{ID: u.ID, ErrorRate: u.ErrorRate, Cost: u.Cost, Remove: u.Remove}
+		if u.Votes != nil {
+			ups[i].Votes = &VoteObservation{Wrong: u.Votes.Wrong, Total: u.Votes.Total}
+		}
+	}
+	p, err := s.store.Patch(name, ups)
+	if err != nil {
+		if errors.Is(err, ErrPoolNotFound) {
+			s.fail(w, err)
+		} else {
+			s.fail(w, badRequest("%v", err))
+		}
+		return
+	}
+	s.m.poolWrites.Add(1)
+	writeJSON(w, http.StatusOK, poolResponse(p, false))
+}
+
+// handlePoolDelete serves DELETE /v1/pools/{name}.
+func (s *Server) handlePoolDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.Delete(name) {
+		s.fail(w, fmt.Errorf("%w: %q", ErrPoolNotFound, name))
+		return
+	}
+	s.m.poolWrites.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}

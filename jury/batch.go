@@ -63,10 +63,39 @@ func (e *Engine) CacheStats() (evaluations, hits int64) {
 	return st.Evaluations, st.CacheHits
 }
 
+// EngineStats is a snapshot of the engine's counters, the observability
+// surface a serving layer exports (e.g. juryd's /metrics).
+type EngineStats struct {
+	// Evaluations counts exact JER computations actually performed.
+	Evaluations int64
+	// CacheHits counts requests served from the memo, including joins of
+	// an identical in-flight computation.
+	CacheHits int64
+	// Inflight is the number of evaluation requests (JER calls and
+	// EvaluateAll batches) executing at the snapshot moment.
+	Inflight int64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats {
+	st := e.eng.Stats()
+	return EngineStats{Evaluations: st.Evaluations, CacheHits: st.CacheHits, Inflight: st.Inflight}
+}
+
 // JER returns the exact Jury Error Rate of one jury, served from the memo
 // when its error-rate multiset has been evaluated before.
 func (e *Engine) JER(errorRates []float64) (float64, error) {
 	return e.eng.Evaluate(errorRates)
+}
+
+// JERContext is JER with the cancellation semantics EvaluateAll documents:
+// a context that is already done returns ctx.Err() without starting the
+// evaluation; a computation already running completes normally (JER
+// kernels are not interruptible mid-flight). Single-evaluation callers on
+// a request path — an HTTP handler with a per-request deadline — get the
+// same contract as batch callers.
+func (e *Engine) JERContext(ctx context.Context, errorRates []float64) (float64, error) {
+	return e.eng.EvaluateContext(ctx, errorRates)
 }
 
 // EvaluateAll computes the exact JER of every jury concurrently and
@@ -139,12 +168,50 @@ func (e *Engine) SelectAltruistic(candidates []Juror) (Selection, error) {
 	return best, nil
 }
 
+// SelectAltruisticSnapshot solves JSP under the Altruism model over a
+// candidate snapshot that is already validated and sorted ascending by
+// error rate — e.g. an immutable juror-pool snapshot a service holds
+// behind an atomic pointer. It skips re-validation and re-sorting, scans
+// the slice read-only (the snapshot can be shared by concurrent
+// requests), and honours ctx between prefix sizes, so a per-request
+// deadline bounds the scan. The sweep maintains the wrong-vote
+// distribution incrementally (O(N²) total), the fastest altruistic path
+// on any core count; the result is identical to SelectAltruistic on the
+// same candidates.
+func (e *Engine) SelectAltruisticSnapshot(ctx context.Context, sorted []Juror) (Selection, error) {
+	return core.SelectAltr(sorted, core.AltrOptions{
+		Incremental: true,
+		Presorted:   true,
+		Ctx:         ctx,
+	})
+}
+
+// SelectBudgetedContext is SelectBudgeted with cancellation: the greedy's
+// JER admission checks run through the engine memo and poll ctx, so a
+// per-request deadline bounds the scan. A check already in flight
+// completes normally.
+func (e *Engine) SelectBudgetedContext(ctx context.Context, candidates []Juror, budget float64) (Selection, error) {
+	return core.SelectPay(candidates, core.PayOptions{
+		Budget: budget,
+		Evaluate: func(rates []float64) (float64, error) {
+			return e.eng.EvaluateContext(ctx, rates)
+		},
+	})
+}
+
 // SelectExact returns the true optimum under the given budget like the
 // package-level SelectExact, sharding the exponential enumeration across
 // the engine's worker pool. The result is bit-for-bit identical for every
 // worker count.
 func (e *Engine) SelectExact(candidates []Juror, budget float64) (Selection, error) {
 	return core.SelectOptParallel(candidates, budget, e.eng.Workers())
+}
+
+// SelectExactContext is SelectExact with cancellation: enumeration
+// workers poll ctx between shards, so a per-request deadline bounds the
+// exponential scan (at most a few milliseconds of overshoot per worker).
+func (e *Engine) SelectExactContext(ctx context.Context, candidates []Juror, budget float64) (Selection, error) {
+	return core.SelectOptParallelCtx(ctx, candidates, budget, e.eng.Workers())
 }
 
 // SelectBudgeted runs the PayALG greedy like the package-level

@@ -196,3 +196,142 @@ func TestEvaluateAllEmptyAndInvalid(t *testing.T) {
 		t.Fatal("empty jury did not error")
 	}
 }
+
+// TestJERContext: same value as JER, and the EvaluateAll cancellation
+// contract for single evaluations.
+func TestJERContext(t *testing.T) {
+	eng := jury.NewEngine(jury.BatchOptions{})
+	rates := []float64{0.1, 0.2, 0.3}
+	want, err := eng.JER(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.JERContext(context.Background(), rates)
+	if err != nil || got != want {
+		t.Fatalf("JERContext = %g/%v, want %g", got, err, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.JERContext(ctx, rates); err != context.Canceled {
+		t.Fatalf("cancelled JERContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestSelectAltruisticSnapshotMatchesSolver: the no-revalidation snapshot
+// path selects the same jury at the same JER as the validated solvers.
+func TestSelectAltruisticSnapshotMatchesSolver(t *testing.T) {
+	for _, n := range []int{1, 2, 9, 40} {
+		cands := batchJuries(1, n, int64(100+n))[0]
+		for i := range cands {
+			cands[i].ID = string(rune('a' + i%26))
+		}
+		want, err := jury.SelectAltruistic(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := jury.NewEngine(jury.BatchOptions{})
+		got, err := eng.SelectAltruisticSnapshot(context.Background(), core.SortedByErrorRate(cands))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.JER != want.JER || got.Size() != want.Size() {
+			t.Errorf("n=%d: snapshot %g/%d vs solver %g/%d",
+				n, got.JER, got.Size(), want.JER, want.Size())
+		}
+	}
+}
+
+func TestSelectAltruisticSnapshotCancellation(t *testing.T) {
+	eng := jury.NewEngine(jury.BatchOptions{})
+	sorted := core.SortedByErrorRate(batchJuries(1, 31, 9)[0])
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SelectAltruisticSnapshot(ctx, sorted); err != context.Canceled {
+		t.Fatalf("cancelled snapshot selection error = %v", err)
+	}
+	if _, err := eng.SelectAltruisticSnapshot(context.Background(), nil); err != jury.ErrNoCandidates {
+		t.Fatalf("empty snapshot error = %v", err)
+	}
+}
+
+// TestSelectBudgetedContextMatchesSerial: the ctx-aware budgeted greedy
+// agrees with the plain solver and honours cancellation.
+func TestSelectBudgetedContextMatchesSerial(t *testing.T) {
+	src := randx.New(21)
+	cands := make([]jury.Juror, 41)
+	rates := src.ErrorRates(len(cands), 0.3, 0.15)
+	for i := range cands {
+		cands[i] = jury.Juror{ID: string(rune('A' + i%26)), ErrorRate: rates[i], Cost: 0.05 + 0.1*float64(i%5)}
+	}
+	const budget = 1.2
+	want, err := jury.SelectBudgeted(cands, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := jury.NewEngine(jury.BatchOptions{})
+	got, err := eng.SelectBudgetedContext(context.Background(), cands, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine memo evaluates in canonical order: values may differ in
+	// the last ulp, the selected jury only on sub-round-off ties.
+	if got.Size() != want.Size() || math.Abs(got.JER-want.JER) > 1e-12 {
+		t.Errorf("context greedy %g/%d vs serial %g/%d", got.JER, got.Size(), want.JER, want.Size())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SelectBudgetedContext(ctx, cands, budget); err != context.Canceled {
+		t.Fatalf("cancelled budgeted selection error = %v", err)
+	}
+}
+
+// TestEngineStatsSurface: Stats mirrors CacheStats and settles to zero
+// inflight.
+func TestEngineStatsSurface(t *testing.T) {
+	eng := jury.NewEngine(jury.BatchOptions{CacheMinJurySize: -1})
+	rates := []float64{0.1, 0.2, 0.3, 0.25, 0.15, 0.35, 0.12, 0.22, 0.28, 0.31, 0.19, 0.24, 0.26, 0.14, 0.33, 0.29, 0.21}
+	if _, err := eng.JER(rates); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.JER(rates); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	evals, hits := eng.CacheStats()
+	if st.Evaluations != evals || st.CacheHits != hits {
+		t.Errorf("Stats %+v disagrees with CacheStats %d/%d", st, evals, hits)
+	}
+	if st.Evaluations != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 evaluation + 1 hit", st)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("idle inflight = %d", st.Inflight)
+	}
+}
+
+// TestSelectExactContext: same optimum as SelectExact, and cancellation
+// aborts the enumeration with ctx.Err().
+func TestSelectExactContext(t *testing.T) {
+	cands := batchJuries(1, 14, 77)[0]
+	for i := range cands {
+		cands[i].ID = string(rune('A' + i))
+		cands[i].Cost = 0.1 + 0.05*float64(i%4)
+	}
+	eng := jury.NewEngine(jury.BatchOptions{})
+	want, err := eng.SelectExact(cands, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.SelectExactContext(context.Background(), cands, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JER != want.JER || got.Size() != want.Size() {
+		t.Errorf("context exact %g/%d vs plain %g/%d", got.JER, got.Size(), want.JER, want.Size())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SelectExactContext(ctx, cands, 1.0); err != context.Canceled {
+		t.Fatalf("cancelled exact enumeration error = %v", err)
+	}
+}
