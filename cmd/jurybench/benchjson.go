@@ -11,6 +11,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,17 +23,21 @@ import (
 	"juryselect/internal/jer"
 	"juryselect/internal/randx"
 	"juryselect/internal/server"
+	"juryselect/internal/simul"
 	"juryselect/jury"
 )
 
 // benchEntry is one benchmark's measurement in the machine-readable
-// snapshot: the same three axes `go test -bench` reports.
+// snapshot: the same three axes `go test -bench` reports, plus any
+// custom metrics the benchmark emitted via b.ReportMetric (e.g. the
+// simulator's steps/s and the sustained-HTTP p99 latency).
 type benchEntry struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchSnapshot is the file -bench-json writes. Snapshots are committed as
@@ -216,10 +223,91 @@ func benchRegistry() []namedBench {
 		}},
 	)
 	benches = append(benches, serverBenches()...)
+	benches = append(benches, simulBenches()...)
 	for _, id := range experiments.List() {
 		benches = append(benches, namedBench{"experiment/" + id, experimentBench(id)})
 	}
 	return benches
+}
+
+// simulBenches measures the closed-loop simulator (internal/simul) and
+// the sustained HTTP select path it drives: one op is a whole scenario
+// run (steps/s reported as an extra metric), and the sustained-HTTP
+// bench is a multi-client closed loop against a live pool, reporting
+// p50/p99 latency alongside throughput.
+func simulBenches() []namedBench {
+	simBench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			sc := simul.Scenario{
+				Name: "bench", Seed: 23, Steps: 100, Population: 40,
+				RateMean: 0.4, RateStddev: 0.1,
+				Drift:        simul.DriftSpec{Model: simul.DriftWalk},
+				ChurnPerStep: 0.5,
+				Replications: 4,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := simul.Run(context.Background(), sc, simul.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			steps := float64(sc.Steps * sc.Replications * b.N)
+			b.ReportMetric(steps/b.Elapsed().Seconds(), "steps/s")
+		}
+	}
+	return []namedBench{
+		{"Simul/inprocess/serial", simBench(1)},
+		{"Simul/inprocess/parallel", simBench(0)},
+		{"JuryloadHTTP/select/n1001", func(b *testing.B) {
+			srv := server.New(server.Config{})
+			if _, err := srv.Store().Put("crowd", benchPoolJurors(1001)); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			const clients = 4
+			body := []byte(`{"pool":"crowd"}`)
+			var next atomic.Int64
+			latencies := make([][]int64, clients)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for int(next.Add(1)) <= b.N {
+						start := time.Now()
+						resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							b.Errorf("status %d", resp.StatusCode)
+							return
+						}
+						latencies[c] = append(latencies[c], time.Since(start).Nanoseconds())
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			var all []int64
+			for _, l := range latencies {
+				all = append(all, l...)
+			}
+			if len(all) == 0 {
+				return
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+			b.ReportMetric(float64(all[int(0.99*float64(len(all)-1))]), "p99-ns")
+		}},
+	}
 }
 
 // benchPoolJurors converts the shared juror generator to the public type
@@ -349,6 +437,12 @@ func writeBenchSnapshot(path string, benches []namedBench, progress io.Writer) e
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			entry.Extra = make(map[string]float64, len(res.Extra))
+			for unit, v := range res.Extra {
+				entry.Extra[unit] = v
+			}
 		}
 		snap.Benchmarks = append(snap.Benchmarks, entry)
 		fmt.Fprintf(progress, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",

@@ -6,7 +6,7 @@
 //
 //	juryd [-addr :8080] [-pool name=jurors.csv ...] [-workers N]
 //	      [-cache N] [-max-inflight N] [-max-queue N]
-//	      [-timeout 5s] [-max-timeout 30s] [-drain 10s]
+//	      [-timeout 5s] [-max-timeout 30s] [-drain 10s] [-drain-delay 0s]
 //
 // Endpoints:
 //
@@ -21,9 +21,13 @@
 //	GET    /metrics                  request, shed and engine counters
 //
 // Each -pool flag preloads a pool from a CSV (id,error_rate[,cost]) or
-// JSON file, by extension. On SIGTERM or SIGINT the server stops
-// accepting work (healthz turns 503), drains in-flight requests for at
-// most -drain, then exits 0.
+// JSON file, by extension. On SIGTERM or SIGINT the server flips
+// /healthz to 503 and — when -drain-delay is set — keeps serving for
+// that window so load balancers observe the drain and deregister, then
+// stops accepting connections, drains in-flight requests for at most
+// -drain, and exits 0. Behind a load balancer set -drain-delay to at
+// least one health-check interval; the default 0 shuts down
+// immediately.
 //
 // Example:
 //
@@ -70,6 +74,7 @@ type config struct {
 	timeout     time.Duration
 	maxTimeout  time.Duration
 	drain       time.Duration
+	drainDelay  time.Duration
 }
 
 func main() {
@@ -83,20 +88,29 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline (0 = 5s)")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "cap on request-supplied deadlines (0 = 30s)")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.DurationVar(&cfg.drainDelay, "drain-delay", 0, "serve 503 on /healthz for this long before closing listeners, so load balancers observe the drain and deregister (0 = shut down immediately)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// A second signal during the -drain-delay window skips the rest of
+	// the deregistration wait (NotifyContext's context is already
+	// cancelled by then, so it cannot carry the escalation).
+	hurry := make(chan os.Signal, 1)
+	signal.Notify(hurry, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(hurry)
 	logger := log.New(os.Stderr, "juryd: ", log.LstdFlags)
-	if err := run(ctx, cfg, logger, nil); err != nil {
+	if err := run(ctx, cfg, logger, nil, hurry); err != nil {
 		logger.Fatal(err)
 	}
 }
 
 // run builds the server, serves until ctx is cancelled, then drains.
 // When ready is non-nil it receives the bound address once the listener
-// is up (used by the tests to serve on a kernel-picked port).
-func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- string) error {
+// is up (used by the tests to serve on a kernel-picked port). A receive
+// on hurry (a second shutdown signal) cuts the -drain-delay window
+// short; nil disables that escalation.
+func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- string, hurry <-chan os.Signal) error {
 	srv := server.New(server.Config{
 		Engine:         jury.NewEngine(jury.BatchOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
 		MaxInflight:    cfg.maxInflight,
@@ -134,10 +148,21 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: flip the health signal so load balancers stop
-	// routing here, then let in-flight and queued requests finish.
+	// Graceful drain: flip the health signal, keep the listener open for
+	// -drain-delay so load balancers actually observe the 503 and stop
+	// routing here (Shutdown closes listeners immediately, which a
+	// health prober would see as ECONNREFUSED, not a drain), then let
+	// in-flight and queued requests finish.
 	logger.Printf("draining (up to %s)", cfg.drain)
 	srv.SetDraining(true)
+	if cfg.drainDelay > 0 {
+		logger.Printf("healthz now 503; deregistration window %s", cfg.drainDelay)
+		select {
+		case <-time.After(cfg.drainDelay):
+		case <-hurry:
+			logger.Printf("second signal: skipping the rest of the deregistration window")
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -81,7 +81,7 @@ func TestRunServesAndDrainsCleanly(t *testing.T) {
 			addr:  "127.0.0.1:0",
 			pools: poolFlags{"crowd=" + csvPath},
 			drain: 5 * time.Second,
-		}, log.New(&logBuf, "", 0), ready)
+		}, log.New(&logBuf, "", 0), ready, nil)
 	}()
 
 	var addr string
@@ -141,12 +141,65 @@ func TestRunServesAndDrainsCleanly(t *testing.T) {
 	}
 }
 
+// TestDrainDelayKeepsHealthzObservable: with -drain-delay set, the 503
+// draining signal is served on a still-open listener before shutdown —
+// the window a load balancer needs to deregister the instance.
+func TestDrainDelayKeepsHealthzObservable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr:       "127.0.0.1:0",
+			drain:      5 * time.Second,
+			drainDelay: 1500 * time.Millisecond,
+		}, log.New(io.Discard, "", 0), ready, nil)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	cancel() // SIGTERM: healthz must answer 503 during the delay window
+	deadline := time.Now().Add(time.Second)
+	saw503 := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			break // listener closed: window over
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			saw503 = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Error("healthz never answered 503 on an open listener during the drain delay")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit")
+	}
+}
+
 func TestRunFailsOnBadPoolFlag(t *testing.T) {
 	err := run(context.Background(), config{
 		addr:  "127.0.0.1:0",
 		pools: poolFlags{"broken"},
 		drain: time.Second,
-	}, log.New(io.Discard, "", 0), nil)
+	}, log.New(io.Discard, "", 0), nil, nil)
 	if err == nil {
 		t.Fatal("bad -pool accepted")
 	}
@@ -159,7 +212,7 @@ func TestRunFailsOnUnbindableAddr(t *testing.T) {
 	err := run(context.Background(), config{
 		addr:  "256.0.0.1:1",
 		drain: time.Second,
-	}, log.New(io.Discard, "", 0), nil)
+	}, log.New(io.Discard, "", 0), nil, nil)
 	if err == nil {
 		t.Fatal("unbindable address accepted")
 	}

@@ -13,9 +13,13 @@
 // The benchmark harness regenerating every table and figure of the paper
 // lives in bench_test.go (go test -bench=.) and in cmd/jurybench (full
 // paper-scale runs); cmd/juryselect selects juries from CSV/JSON files,
-// and cmd/juryd serves selection over HTTP/JSON with live, versioned
-// juror pools (internal/server). See README.md for a quick start,
-// DESIGN.md for the system inventory, the engine's concurrency model and
-// the service layer (§10), and EXPERIMENTS.md for paper-vs-measured
+// cmd/juryd serves selection over HTTP/JSON with live, versioned juror
+// pools (internal/server), and cmd/juryload replays scenario-driven
+// crowd traffic — drifting error rates, churn, partial availability —
+// against either the in-process stack or a live juryd, recording
+// decision accuracy, regret and calibration over time (internal/simul).
+// See README.md for a quick start, DESIGN.md for the system inventory,
+// the engine's concurrency model, the service layer (§10) and the
+// closed-loop simulator (§11), and EXPERIMENTS.md for paper-vs-measured
 // results.
 package juryselect

@@ -1,0 +1,94 @@
+// Simulation walkthrough: the paper's online setting, end to end. A
+// drifting crowd answers a stream of questions; the system starts from an
+// uninformed prior, folds every observed vote into its Beta-posterior
+// error-rate estimates, and re-selects the minimum-JER jury each step.
+// The same scenario is replayed under three regimes:
+//
+//   - oracle:    selection sees the true ε at every step (upper bound)
+//   - posterior: selection sees only vote-derived estimates (the system)
+//   - random:    a fixed-size random jury (the uninformed floor)
+//
+// Watch the posterior run converge toward the oracle trajectory while the
+// random baseline stays flat — the headline behaviour the EXPERIMENTS
+// tables quantify at scale.
+//
+// Run with: go run ./examples/simulation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"juryselect/internal/simul"
+	"juryselect/internal/tablefmt"
+)
+
+func main() {
+	base := simul.Scenario{
+		Name: "walkthrough", Seed: 42, Steps: 240, Population: 40,
+		RateMean: 0.4, RateStddev: 0.1,
+		Drift:        simul.DriftSpec{Model: simul.DriftWalk, Sigma: 0.01},
+		Replications: 3,
+	}
+
+	regimes := []struct {
+		label     string
+		strategy  string
+		estimator string
+	}{
+		{"oracle", simul.StrategyAltr, simul.EstimatorOracle},
+		{"posterior", simul.StrategyAltr, simul.EstimatorPosterior},
+		{"random", simul.StrategyRandom, simul.EstimatorPosterior},
+	}
+
+	reports := make([]*simul.Report, len(regimes))
+	for i, rg := range regimes {
+		sc := base
+		sc.Name = rg.label
+		sc.Strategy, sc.Estimator = rg.strategy, rg.estimator
+		rep, err := simul.Run(context.Background(), sc, simul.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports[i] = rep
+	}
+
+	fmt.Printf("drifting crowd, %d jurors, %d questions × %d replications\n\n",
+		base.Population, base.Steps, base.Replications)
+
+	tb := tablefmt.New("Decision accuracy per window (convergence under drift)",
+		"window", "oracle", "posterior", "random")
+	n := len(reports[0].Summary.WindowAccuracy)
+	for wi := 0; wi < n; wi++ {
+		tb.AddRow(
+			fmt.Sprintf("%d–%d", wi*base.Steps/n, (wi+1)*base.Steps/n-1),
+			fmt.Sprintf("%.3f", reports[0].Summary.WindowAccuracy[wi]),
+			fmt.Sprintf("%.3f", reports[1].Summary.WindowAccuracy[wi]),
+			fmt.Sprintf("%.3f", reports[2].Summary.WindowAccuracy[wi]),
+		)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	tb = tablefmt.New("Run summary", "regime", "accuracy", "mean regret", "calibration err")
+	for i, rg := range regimes {
+		s := reports[i].Summary
+		tb.AddRow(rg.label,
+			fmt.Sprintf("%.4f", s.Accuracy),
+			fmt.Sprintf("%.6f", s.MeanRegret),
+			fmt.Sprintf("%.6f", s.MeanCalibration))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nThe posterior regime's regret shrinks as votes accumulate: the")
+	fmt.Println("estimates chase the drifting truth. Replay the same trajectory")
+	fmt.Println("against a live service with:")
+	fmt.Println("\n  juryd -addr :8080 &")
+	fmt.Println("  juryload -preset drift -mode http -addr http://127.0.0.1:8080")
+}

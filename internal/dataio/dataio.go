@@ -4,6 +4,12 @@
 //
 //	CSV:  header "id,error_rate,cost" (cost optional), one juror per row.
 //	JSON: array of {"id": ..., "error_rate": ..., "cost": ...} objects.
+//
+// File ingest is stricter than the in-memory model: error rates must be
+// finite and lie in (0, 0.5) — a stored candidate whose ε is NaN, ±Inf,
+// or at least 0.5 fails the read with ErrRateNotBetterThanChance (or the
+// model validation error), so a malformed pool file aborts cmd/juryselect
+// and juryd -pool at startup instead of poisoning selections.
 package dataio
 
 import (
@@ -19,6 +25,30 @@ import (
 
 // ErrNoJurors reports an input containing no juror rows.
 var ErrNoJurors = errors.New("dataio: no juror rows in input")
+
+// ErrRateNotBetterThanChance reports an ingested error rate at or above
+// 0.5. The model tolerates any ε ∈ (0,1), but a stored candidate file
+// whose jurors vote no better than a coin flip is almost always a data
+// error (a wrong column, an accuracy instead of an error rate), and such
+// jurors silently poison pay-model selections. File ingest therefore
+// fails fast; programmatic callers that genuinely want worse-than-chance
+// jurors can construct them directly.
+var ErrRateNotBetterThanChance = errors.New("dataio: error rate not in (0, 0.5): jurors must be better than chance")
+
+// validateIngestRate enforces the file-ingest contract on one juror's
+// error rate: finite, and inside [0, 0.5) — intersected with the model's
+// own ε > 0 requirement (Definition 4), the accepted range is (0, 0.5).
+func validateIngestRate(j core.Juror) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	// Validate already rejected NaN and anything outside (0,1); what is
+	// left to enforce is the better-than-chance half of the range.
+	if j.ErrorRate >= 0.5 {
+		return fmt.Errorf("%w: juror %q has ε = %g", ErrRateNotBetterThanChance, j.ID, j.ErrorRate)
+	}
+	return nil
+}
 
 // ReadCSV parses jurors from CSV. The first row is treated as a header when
 // its error_rate column does not parse as a number. Rows must have two or
@@ -52,7 +82,7 @@ func ReadCSV(r io.Reader) ([]core.Juror, error) {
 			}
 			j.Cost = cost
 		}
-		if err := j.Validate(); err != nil {
+		if err := validateIngestRate(j); err != nil {
 			return nil, fmt.Errorf("dataio: row %d: %w", i+1, err)
 		}
 		jurors = append(jurors, j)
@@ -110,7 +140,7 @@ func ReadJSON(r io.Reader) ([]core.Juror, error) {
 	jurors := make([]core.Juror, len(raw))
 	for i, rj := range raw {
 		jurors[i] = rj.Juror()
-		if err := jurors[i].Validate(); err != nil {
+		if err := validateIngestRate(jurors[i]); err != nil {
 			return nil, fmt.Errorf("dataio: juror %d: %w", i, err)
 		}
 	}

@@ -42,12 +42,31 @@ func TestReadCSVErrors(t *testing.T) {
 		"bad rate mid":      "A,0.1\nB,xyz\n",
 		"bad cost":          "A,0.1,nope\n",
 		"rate out of range": "A,1.5\n",
-		"negative cost":     "A,0.5,-1\n",
+		"negative cost":     "A,0.4,-1\n",
+		"NaN rate":          "A,NaN\n",
+		"Inf rate":          "A,Inf\n",
+		"rate at chance":    "A,0.5\n",
+		"worse than chance": "A,0.7\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error for %q", name, in)
 		}
+	}
+}
+
+func TestIngestRejectsWorseThanChance(t *testing.T) {
+	// Rates at or above 0.5 carry the dedicated sentinel so callers can
+	// branch on the failure mode.
+	if _, err := ReadCSV(strings.NewReader("A,0.55\n")); !errors.Is(err, ErrRateNotBetterThanChance) {
+		t.Errorf("CSV err = %v, want ErrRateNotBetterThanChance", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"id":"a","error_rate":0.5}]`)); !errors.Is(err, ErrRateNotBetterThanChance) {
+		t.Errorf("JSON err = %v, want ErrRateNotBetterThanChance", err)
+	}
+	// Just under the bound is accepted.
+	if _, err := ReadCSV(strings.NewReader("A,0.499\n")); err != nil {
+		t.Errorf("ε = 0.499 rejected: %v", err)
 	}
 }
 
@@ -106,11 +125,12 @@ func TestJSONRoundTrip(t *testing.T) {
 
 func TestReadJSONErrors(t *testing.T) {
 	for name, in := range map[string]string{
-		"not json":      "nope",
-		"empty array":   "[]",
-		"unknown field": `[{"id":"a","error_rate":0.5,"extra":1}]`,
-		"invalid rate":  `[{"id":"a","error_rate":2}]`,
-		"negative cost": `[{"id":"a","error_rate":0.5,"cost":-3}]`,
+		"not json":          "nope",
+		"empty array":       "[]",
+		"unknown field":     `[{"id":"a","error_rate":0.4,"extra":1}]`,
+		"invalid rate":      `[{"id":"a","error_rate":2}]`,
+		"negative cost":     `[{"id":"a","error_rate":0.4,"cost":-3}]`,
+		"worse than chance": `[{"id":"a","error_rate":0.6}]`,
 	} {
 		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error", name)

@@ -1,0 +1,134 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCredibleIntervalBracketsMean(t *testing.T) {
+	for _, tc := range []struct{ rate, weight float64 }{
+		{0.3, 10},
+		{0.1, 10},
+		{0.05, 500},
+		{0.45, 3},
+		{0.5, 2}, // uniform Beta(1,1)
+	} {
+		lo, hi, err := CredibleInterval(tc.rate, tc.weight, 0.95)
+		if err != nil {
+			t.Fatalf("rate=%g weight=%g: %v", tc.rate, tc.weight, err)
+		}
+		if !(0 <= lo && lo < hi && hi <= 1) {
+			t.Errorf("rate=%g weight=%g: interval [%g, %g] not ordered inside [0,1]", tc.rate, tc.weight, lo, hi)
+		}
+		// The central interval of a unimodal-or-uniform Beta contains the
+		// mean for every parameterization used by the pool store.
+		if lo > tc.rate || hi < tc.rate {
+			t.Errorf("rate=%g weight=%g: interval [%g, %g] excludes the mean", tc.rate, tc.weight, lo, hi)
+		}
+	}
+}
+
+func TestCredibleIntervalNarrowsWithEvidence(t *testing.T) {
+	// As votes accumulate at a fixed posterior mean, the interval shrinks:
+	// that is the uncertainty signal the pool GET response exposes.
+	prev := math.Inf(1)
+	for _, weight := range []float64{10, 50, 250, 1250} {
+		lo, hi, err := CredibleInterval(0.2, weight, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if width := hi - lo; width >= prev {
+			t.Errorf("weight %g: width %g did not shrink from %g", weight, hi-lo, prev)
+		} else {
+			prev = width
+		}
+	}
+}
+
+func TestCredibleIntervalKnownValues(t *testing.T) {
+	// Beta(1,1) (rate 0.5, weight 2) is uniform: quantiles are the
+	// probabilities themselves.
+	lo, hi, err := CredibleInterval(0.5, 2, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-0.05) > 1e-9 || math.Abs(hi-0.95) > 1e-9 {
+		t.Errorf("uniform 90%% interval = [%g, %g], want [0.05, 0.95]", lo, hi)
+	}
+	// Beta(2,2) (rate 0.5, weight 4): CDF is 3x²−2x³; the 2.5% quantile
+	// solves 3x²−2x³ = 0.025 → x ≈ 0.094299...; reference value from the
+	// closed form.
+	lo, hi, err = CredibleInterval(0.5, 4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := func(x float64) float64 { return 3*x*x - 2*x*x*x }
+	if math.Abs(cdf(lo)-0.025) > 1e-9 || math.Abs(cdf(hi)-0.975) > 1e-9 {
+		t.Errorf("Beta(2,2) interval [%g, %g]: CDF at ends = %g, %g", lo, hi, cdf(lo), cdf(hi))
+	}
+}
+
+func TestCredibleIntervalMatchesPosteriorRateChain(t *testing.T) {
+	// Reconstruct the Beta parameters after a PosteriorRate chain: the
+	// interval from (mean, prior+total) must equal the interval computed
+	// from the directly-updated Beta parameters.
+	rate := 0.3
+	weight := float64(DefaultPriorWeight)
+	var wrong, total int64 = 7, 40
+	updated, err := PosteriorRate(rate, weight, wrong, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1, err := CredibleInterval(updated, weight+float64(total), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct construction: a = ε0·w + wrong, b = (1−ε0)·w + right.
+	a := rate*weight + float64(wrong)
+	b := (1-rate)*weight + float64(total-wrong)
+	lo2 := betaQuantile(a, b, 0.025)
+	hi2 := betaQuantile(a, b, 0.975)
+	if math.Abs(lo1-lo2) > 1e-12 || math.Abs(hi1-hi2) > 1e-12 {
+		t.Errorf("chain interval [%g, %g] != direct interval [%g, %g]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestCredibleIntervalDeterministic(t *testing.T) {
+	lo1, hi1, _ := CredibleInterval(0.273, 37.5, 0.95)
+	lo2, hi2, _ := CredibleInterval(0.273, 37.5, 0.95)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("interval not bit-stable: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestCredibleIntervalRejectsBadInputs(t *testing.T) {
+	for _, tc := range []struct{ rate, weight, level float64 }{
+		{0, 10, 0.95},
+		{1, 10, 0.95},
+		{math.NaN(), 10, 0.95},
+		{0.3, 0, 0.95},
+		{0.3, -1, 0.95},
+		{0.3, math.Inf(1), 0.95},
+		{0.3, 10, 0},
+		{0.3, 10, 1},
+	} {
+		if _, _, err := CredibleInterval(tc.rate, tc.weight, tc.level); err == nil {
+			t.Errorf("CredibleInterval(%g, %g, %g): expected error", tc.rate, tc.weight, tc.level)
+		}
+	}
+}
+
+func TestRegIncBetaAgainstClosedForms(t *testing.T) {
+	// I_x(1,1) = x; I_x(2,1) = x²; I_x(1,2) = 1−(1−x)².
+	for _, x := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%g(1,1) = %g, want %g", x, got, x)
+		}
+		if got, want := regIncBeta(2, 1, x), x*x; math.Abs(got-want) > 1e-12 {
+			t.Errorf("I_%g(2,1) = %g, want %g", x, got, want)
+		}
+		if got, want := regIncBeta(1, 2, x), 1-(1-x)*(1-x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("I_%g(1,2) = %g, want %g", x, got, want)
+		}
+	}
+}

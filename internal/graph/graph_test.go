@@ -143,3 +143,49 @@ func TestComputeStatsEmpty(t *testing.T) {
 		t.Fatalf("stats of empty graph: %+v", s)
 	}
 }
+
+// TestComputeStatsDeterministic pins the property the closed-loop
+// simulator relies on: a seeded edge stream always yields the same Stats,
+// and the Stats are invariant under edge insertion order (they summarise
+// the degree multiset, not the node indexing).
+func TestComputeStatsDeterministic(t *testing.T) {
+	edges := func(seed int64) [][2]string {
+		// Small deterministic LCG so this test does not depend on randx.
+		state := uint64(seed)
+		next := func(n int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(n))
+		}
+		var out [][2]string
+		for i := 0; i < 500; i++ {
+			u, v := next(60), next(60)
+			if u == v {
+				continue
+			}
+			out = append(out, [2]string{fmt.Sprintf("u%d", u), fmt.Sprintf("u%d", v)})
+		}
+		return out
+	}
+	build := func(es [][2]string) Stats {
+		g := New()
+		for _, e := range es {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g.ComputeStats()
+	}
+	es := edges(5)
+	s1, s2 := build(es), build(es)
+	if s1 != s2 {
+		t.Fatalf("same edges produced different stats:\n%+v\n%+v", s1, s2)
+	}
+	// Reverse insertion order: node indices change, stats must not.
+	rev := make([][2]string, len(es))
+	for i, e := range es {
+		rev[len(es)-1-i] = e
+	}
+	if s3 := build(rev); s1 != s3 {
+		t.Fatalf("insertion order changed stats:\n%+v\n%+v", s1, s3)
+	}
+}

@@ -77,11 +77,18 @@ type SelectResponse struct {
 	PoolVersion uint64               `json:"pool_version,omitempty"`
 }
 
-// PoolJurorJSON is the wire form of one live-pool member: the juror plus
-// its accumulated voting record.
+// PoolJurorJSON is the wire form of one live-pool member: the juror, its
+// accumulated voting record, and the uncertainty of the estimate. RateLo
+// and RateHi bound the central 95% credible interval of the Beta
+// posterior the PATCH path maintains (estimate.CredibleInterval over the
+// posterior mean and its pseudo-count weight), so clients can distinguish
+// a juror whose ε = 0.2 rests on ten virtual prior tasks from one whose
+// rests on a thousand observed votes.
 type PoolJurorJSON struct {
 	ID         string  `json:"id"`
 	ErrorRate  float64 `json:"error_rate"`
+	RateLo     float64 `json:"rate_lo,omitempty"`
+	RateHi     float64 `json:"rate_hi,omitempty"`
 	Cost       float64 `json:"cost,omitempty"`
 	WrongVotes int64   `json:"wrong_votes,omitempty"`
 	TotalVotes int64   `json:"total_votes,omitempty"`
@@ -142,11 +149,14 @@ func poolResponse(p *Pool, includeJurors bool) PoolResponse {
 		UpdatedAt: p.UpdatedAt.Format(time.RFC3339Nano),
 	}
 	if includeJurors {
+		intervals := p.credibleIntervals()
 		out.Jurors = make([]PoolJurorJSON, p.Size())
 		for i, m := range p.Jurors() {
 			out.Jurors[i] = PoolJurorJSON{
 				ID:         m.ID,
 				ErrorRate:  m.ErrorRate,
+				RateLo:     intervals[i].Lo,
+				RateHi:     intervals[i].Hi,
 				Cost:       m.Cost,
 				WrongVotes: m.WrongVotes,
 				TotalVotes: m.TotalVotes,

@@ -61,6 +61,40 @@ type Pool struct {
 	// sorted is the ε-ascending view selection reads. It is validated at
 	// ingest, so SelectAltruisticSnapshot runs without re-validation.
 	sorted []jury.Juror
+	// intervals caches the per-juror credible intervals GET responses
+	// report. They are a pure function of the immutable member list, so
+	// they are computed at most once per snapshot, on first use — the
+	// write path (PUT/PATCH) never pays for them, and repeated GETs
+	// reuse the slice.
+	intervalsOnce sync.Once
+	intervals     []rateInterval
+}
+
+// rateInterval bounds one juror's estimate uncertainty.
+type rateInterval struct{ Lo, Hi float64 }
+
+// credibleIntervals returns the central 95% credible interval of each
+// member's Beta-posterior error rate, in insertion order. Safe for
+// concurrent use; the computation runs once per snapshot and costs
+// ~10 µs per juror (two safeguarded-Newton quantile inversions), so the
+// first full GET of a very large pool pays time comparable to encoding
+// its response JSON, and subsequent GETs pay nothing.
+func (p *Pool) credibleIntervals() []rateInterval {
+	p.intervalsOnce.Do(func() {
+		out := make([]rateInterval, len(p.jurors))
+		for i, m := range p.jurors {
+			// The pair (posterior mean, prior weight + observed votes)
+			// determines the Beta posterior exactly; pool rates are
+			// validated in (0,1) at ingest, so this cannot fail.
+			lo, hi, err := estimate.CredibleInterval(m.ErrorRate,
+				estimate.DefaultPriorWeight+float64(m.TotalVotes), estimate.DefaultCredibleLevel)
+			if err == nil {
+				out[i] = rateInterval{Lo: lo, Hi: hi}
+			}
+		}
+		p.intervals = out
+	})
+	return p.intervals
 }
 
 // Size returns the number of jurors in the snapshot.

@@ -258,6 +258,36 @@ func TestPoolCRUDRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPoolGetReportsCredibleInterval(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putPool(t, ts.URL, "crowd", []jury.Juror{
+		{ID: "fresh", ErrorRate: 0.2}, {ID: "seasoned", ErrorRate: 0.2},
+	})
+	patch := PatchJurorsRequest{Updates: []JurorUpdateJSON{
+		{ID: "seasoned", Votes: &VotesJSON{Wrong: 100, Total: 500}},
+	}}
+	if code := do(t, http.MethodPatch, ts.URL+"/v1/pools/crowd/jurors", patch, nil); code != http.StatusOK {
+		t.Fatalf("PATCH: status %d", code)
+	}
+	var pool PoolResponse
+	if code := do(t, http.MethodGet, ts.URL+"/v1/pools/crowd", nil, &pool); code != http.StatusOK {
+		t.Fatalf("GET pool: status %d", code)
+	}
+	widths := map[string]float64{}
+	for _, j := range pool.Jurors {
+		if !(0 <= j.RateLo && j.RateLo < j.ErrorRate && j.ErrorRate < j.RateHi && j.RateHi <= 1) {
+			t.Errorf("juror %s: interval [%g, %g] does not bracket ε = %g", j.ID, j.RateLo, j.RateHi, j.ErrorRate)
+		}
+		widths[j.ID] = j.RateHi - j.RateLo
+	}
+	// 500 observed votes dominate the 10-task prior: the seasoned juror's
+	// interval must be much tighter than the fresh juror's.
+	if widths["seasoned"] >= widths["fresh"]/2 {
+		t.Errorf("interval widths fresh=%g seasoned=%g: votes did not tighten the estimate",
+			widths["fresh"], widths["seasoned"])
+	}
+}
+
 func TestVoteDriftChangesSelection(t *testing.T) {
 	// The paper's online framing end to end: an initially mediocre juror
 	// builds a strong voting record, the PATCH path re-estimates it, and

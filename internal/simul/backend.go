@@ -1,0 +1,135 @@
+package simul
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"juryselect/internal/server"
+	"juryselect/jury"
+)
+
+// selectOutcome is what a selection round-trip yields, whichever backend
+// served it.
+type selectOutcome struct {
+	// IDs and EstRates are the selected jurors and the estimated error
+	// rates the selection was computed over.
+	IDs      []string
+	EstRates []float64
+	// PredictedJER is the JER of the selected jury under the estimates —
+	// what the system believes its failure probability is.
+	PredictedJER float64
+	// Cost is the jury's total payment requirement.
+	Cost float64
+	// PoolVersion is the pool snapshot the selection read (0 inline).
+	PoolVersion uint64
+	// Retried counts 429-shed attempts absorbed before this outcome
+	// (HTTP backend only).
+	Retried int
+	// LatencyNS is the round-trip time of the final attempt (HTTP
+	// backend only; excluded from the deterministic metrics).
+	LatencyNS int64
+}
+
+// errStepShed reports that the service shed the selection request even
+// after the backend's Retry-After backoff budget. The simulator records
+// the step as shed and moves on — overload degrades coverage, never
+// aborts the run.
+var errStepShed = errors.New("simul: selection shed by admission control")
+
+// backend is the system under test: the live juror-pool plus selection
+// service the closed loop drives. The local backend embeds the service's
+// own store and engine in-process; the HTTP backend speaks the juryd wire
+// protocol. Both expose identical semantics, which is what makes the
+// in-process and HTTP trajectories comparable step by step.
+type backend interface {
+	// PutPool publishes the full juror set as the named pool.
+	PutPool(ctx context.Context, name string, jurors []jury.Juror) error
+	// Patch applies incremental updates (rate resets, churn, votes).
+	Patch(ctx context.Context, name string, ups []server.JurorUpdate) error
+	// Select picks the minimum-JER jury from the named pool under the
+	// scenario's strategy. Returns errStepShed when admission control
+	// rejected the request past the retry budget.
+	Select(ctx context.Context, name string, sc Scenario) (selectOutcome, error)
+	// DeletePool drops the pool (end-of-replication cleanup).
+	DeletePool(ctx context.Context, name string) error
+	// Close releases client resources.
+	Close() error
+}
+
+// localBackend runs the service stack in-process: the same versioned
+// copy-on-write pool store and shared JER engine juryd serves from, minus
+// HTTP. Its Select mirrors internal/server.handleSelect's dispatch
+// exactly, so a scenario replayed over HTTP selects identical juries.
+type localBackend struct {
+	store *server.Store
+	eng   *jury.Engine
+}
+
+// newLocalBackend builds an in-process backend with a fresh store. The
+// engine is shared across replications (it is safe for concurrent use and
+// its memo accelerates repeated JER work).
+func newLocalBackend(eng *jury.Engine) *localBackend {
+	return &localBackend{store: server.NewStore(), eng: eng}
+}
+
+func (lb *localBackend) PutPool(_ context.Context, name string, jurors []jury.Juror) error {
+	_, err := lb.store.Put(name, jurors)
+	return err
+}
+
+func (lb *localBackend) Patch(_ context.Context, name string, ups []server.JurorUpdate) error {
+	_, err := lb.store.Patch(name, ups)
+	return err
+}
+
+func (lb *localBackend) Select(ctx context.Context, name string, sc Scenario) (selectOutcome, error) {
+	pool, ok := lb.store.Get(name)
+	if !ok {
+		return selectOutcome{}, fmt.Errorf("simul: pool %q not in store", name)
+	}
+	var (
+		sel jury.Selection
+		err error
+	)
+	switch sc.Strategy {
+	case StrategyPay:
+		sel, err = lb.eng.SelectBudgetedContext(ctx, pool.Sorted(), sc.Budget)
+	case StrategyExact:
+		if len(pool.Sorted()) > jury.MaxExactCandidates {
+			return selectOutcome{}, fmt.Errorf("simul: exact strategy accepts at most %d candidates, got %d",
+				jury.MaxExactCandidates, len(pool.Sorted()))
+		}
+		sel, err = lb.eng.SelectExactContext(ctx, pool.Sorted(), sc.Budget)
+	default: // altr
+		sel, err = lb.eng.SelectAltruisticSnapshot(ctx, pool.Sorted())
+	}
+	if err != nil {
+		return selectOutcome{}, err
+	}
+	return outcomeFromSelection(sel, pool.Version), nil
+}
+
+func (lb *localBackend) DeletePool(_ context.Context, name string) error {
+	lb.store.Delete(name)
+	return nil
+}
+
+func (lb *localBackend) Close() error { return nil }
+
+// outcomeFromSelection flattens a Selection into the backend-neutral
+// outcome shape.
+func outcomeFromSelection(sel jury.Selection, version uint64) selectOutcome {
+	out := selectOutcome{
+		IDs:          make([]string, len(sel.Jurors)),
+		EstRates:     make([]float64, len(sel.Jurors)),
+		PredictedJER: sel.JER,
+		Cost:         sel.Cost,
+		PoolVersion:  version,
+	}
+	for i, j := range sel.Jurors {
+		out.IDs[i] = j.ID
+		out.EstRates[i] = j.ErrorRate
+	}
+	return out
+}

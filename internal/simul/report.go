@@ -1,0 +1,200 @@
+package simul
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// ReportSchema identifies the metrics JSON format.
+const ReportSchema = "juryselect-simul/v1"
+
+// StepRecord is the full per-step trace entry, emitted when tracing is
+// enabled. The decision-accuracy trajectory tests compare these between
+// the in-process and HTTP modes.
+type StepRecord struct {
+	Step         int     `json:"step"`
+	PoolVersion  uint64  `json:"pool_version,omitempty"`
+	JurySize     int     `json:"jury_size"`
+	Responders   int     `json:"responders"`
+	Decided      bool    `json:"decided"`
+	Correct      bool    `json:"correct"`
+	Shed         bool    `json:"shed,omitempty"`
+	PredictedJER float64 `json:"predicted_jer"`
+	TrueJER      float64 `json:"true_jer"`
+	OracleJER    float64 `json:"oracle_jer"`
+	Regret       float64 `json:"regret"`
+	Calibration  float64 `json:"calibration"`
+	Spend        float64 `json:"spend"`
+}
+
+// Window aggregates a contiguous run of steps: the unit of the
+// convergence trajectories in EXPERIMENTS.md.
+type Window struct {
+	// StartStep and EndStep bound the window as [start, end).
+	StartStep int `json:"start_step"`
+	EndStep   int `json:"end_step"`
+	// Decided counts steps where a majority decision was delivered;
+	// Correct counts those matching the latent truth; Shed counts steps
+	// lost to admission control.
+	Decided int `json:"decided"`
+	Correct int `json:"correct"`
+	Shed    int `json:"shed,omitempty"`
+	// Accuracy is Correct over attempted (non-shed) steps: an undecided
+	// question (tie or no turnout) counts against the system.
+	Accuracy float64 `json:"accuracy"`
+	// MeanRegret and MeanCalibration average the per-step selection
+	// regret (true JER of the chosen jury minus the oracle jury's) and
+	// JER calibration error (|predicted − true|) over non-shed steps.
+	MeanRegret      float64 `json:"mean_regret"`
+	MeanCalibration float64 `json:"mean_calibration"`
+}
+
+// LatencySummary summarises HTTP select round-trip times. Wall-clock
+// measurements: present only in HTTP mode and outside the deterministic
+// part of the report.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P95NS  int64   `json:"p95_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// summarizeLatency builds a LatencySummary from raw nanosecond samples.
+func summarizeLatency(ns []int64) *LatencySummary {
+	if len(ns) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sum := 0.0
+	for _, v := range sorted {
+		sum += float64(v)
+	}
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return &LatencySummary{
+		Count:  len(sorted),
+		MeanNS: sum / float64(len(sorted)),
+		P50NS:  pct(0.50),
+		P95NS:  pct(0.95),
+		P99NS:  pct(0.99),
+		MaxNS:  sorted[len(sorted)-1],
+	}
+}
+
+// RepResult is one replication's outcome.
+type RepResult struct {
+	Replication int `json:"replication"`
+	Steps       int `json:"steps"`
+	// Decided, Correct, Undecided and Shed partition the steps:
+	// Decided + Undecided + Shed == Steps, Correct ≤ Decided.
+	Decided   int `json:"decided"`
+	Correct   int `json:"correct"`
+	Undecided int `json:"undecided"`
+	Shed      int `json:"shed"`
+	// Retries counts 429 responses absorbed by Retry-After backoff
+	// (HTTP mode; includes retries that eventually succeeded).
+	Retries int `json:"retries,omitempty"`
+	// Accuracy is Correct over attempted (non-shed) steps.
+	Accuracy float64 `json:"accuracy"`
+	// MeanRegret and MeanCalibration average over non-shed steps.
+	MeanRegret      float64 `json:"mean_regret"`
+	MeanCalibration float64 `json:"mean_calibration"`
+	MeanJurySize    float64 `json:"mean_jury_size"`
+	TotalSpend      float64 `json:"total_spend"`
+	// FinalPoolVersion is the backend pool version after the last step —
+	// the number of published pool snapshots the run produced.
+	FinalPoolVersion uint64          `json:"final_pool_version,omitempty"`
+	Windows          []Window        `json:"windows"`
+	Latency          *LatencySummary `json:"latency,omitempty"`
+	Trace            []StepRecord    `json:"trace,omitempty"`
+}
+
+// Summary aggregates across replications.
+type Summary struct {
+	Replications    int     `json:"replications"`
+	Accuracy        float64 `json:"accuracy"` // mean of replication accuracies
+	MeanRegret      float64 `json:"mean_regret"`
+	MeanCalibration float64 `json:"mean_calibration"`
+	// WindowAccuracy is the per-window accuracy averaged across
+	// replications: the convergence trajectory.
+	WindowAccuracy []float64 `json:"window_accuracy"`
+	// FirstWindowAccuracy and LastWindowAccuracy expose the trajectory's
+	// endpoints for quick convergence checks.
+	FirstWindowAccuracy float64 `json:"first_window_accuracy"`
+	LastWindowAccuracy  float64 `json:"last_window_accuracy"`
+	TotalShed           int     `json:"total_shed"`
+	TotalRetries        int     `json:"total_retries,omitempty"`
+	// ShedRate is shed steps over all steps in all replications.
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// Report is the complete metrics document a run produces. In in-process
+// mode it is a pure function of (Scenario, seed): bit-identical across
+// runs and worker counts. In HTTP mode the latency summaries (and, under
+// overload, shed counts) reflect wall-clock behaviour.
+type Report struct {
+	Schema       string      `json:"schema"`
+	Mode         string      `json:"mode"`
+	Scenario     Scenario    `json:"scenario"`
+	Summary      Summary     `json:"summary"`
+	Replications []RepResult `json:"replications"`
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+// Encoding is deterministic: struct-ordered keys and shortest
+// round-trip float formatting.
+func (r *Report) Marshal() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// summarize builds the cross-replication summary.
+func summarize(sc Scenario, reps []RepResult) Summary {
+	s := Summary{Replications: len(reps)}
+	if len(reps) == 0 {
+		return s
+	}
+	var windows int
+	for _, r := range reps {
+		s.Accuracy += r.Accuracy
+		s.MeanRegret += r.MeanRegret
+		s.MeanCalibration += r.MeanCalibration
+		s.TotalShed += r.Shed
+		s.TotalRetries += r.Retries
+		if len(r.Windows) > windows {
+			windows = len(r.Windows)
+		}
+	}
+	n := float64(len(reps))
+	s.Accuracy /= n
+	s.MeanRegret /= n
+	s.MeanCalibration /= n
+	s.ShedRate = float64(s.TotalShed) / (n * float64(sc.Steps))
+
+	s.WindowAccuracy = make([]float64, windows)
+	counts := make([]int, windows)
+	for _, r := range reps {
+		for i, w := range r.Windows {
+			s.WindowAccuracy[i] += w.Accuracy
+			counts[i]++
+		}
+	}
+	for i := range s.WindowAccuracy {
+		if counts[i] > 0 {
+			s.WindowAccuracy[i] /= float64(counts[i])
+		}
+	}
+	if windows > 0 {
+		s.FirstWindowAccuracy = s.WindowAccuracy[0]
+		s.LastWindowAccuracy = s.WindowAccuracy[windows-1]
+	}
+	return s
+}

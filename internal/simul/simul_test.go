@@ -1,0 +1,254 @@
+package simul
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// tinyScenarios is the table the determinism tests sweep: one scenario
+// per mechanism (drift models, churn, availability, strategies,
+// estimators, sources) so a nondeterminism regression in any of them
+// breaks the bit-identity assertion.
+func tinyScenarios() []Scenario {
+	return []Scenario{
+		{Name: "static-posterior", Seed: 7, Steps: 30, Population: 12, Replications: 2},
+		{Name: "walk-posterior", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			Drift: DriftSpec{Model: DriftWalk, Sigma: 0.02}},
+		{Name: "shift-oracle", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			Drift: DriftSpec{Model: DriftShift}, Estimator: EstimatorOracle},
+		{Name: "churn-posterior", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			ChurnPerStep: 0.8},
+		{Name: "flaky-posterior", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			Availability: 0.6},
+		{Name: "pay-greedy", Seed: 7, Steps: 25, Population: 12, Replications: 2,
+			Strategy: StrategyPay, Budget: 1.2},
+		{Name: "exact-small", Seed: 7, Steps: 10, Population: 10, Replications: 1,
+			Strategy: StrategyExact, Budget: 1.2},
+		{Name: "random-baseline", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			Strategy: StrategyRandom},
+		{Name: "degree-baseline", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			Strategy: StrategyDegree},
+		{Name: "em-refresh", Seed: 7, Steps: 30, Population: 12, Replications: 2,
+			Estimator: EstimatorEM, EMEvery: 10},
+		{Name: "microblog-src", Seed: 7, Steps: 20, Population: 40, Replications: 1,
+			Source: SourceMicroblog},
+	}
+}
+
+// TestMetricsBitIdentical is the determinism contract: same scenario +
+// seed ⇒ bit-identical metrics JSON, run over run.
+func TestMetricsBitIdentical(t *testing.T) {
+	for _, sc := range tinyScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() []byte {
+				rep, err := Run(context.Background(), sc, Options{Trace: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw, err := rep.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return raw
+			}
+			a, b := run(), run()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("metrics JSON differs between identical runs:\n%s\n----\n%s", clip(a), clip(b))
+			}
+		})
+	}
+}
+
+// TestMetricsWorkerCountInvariant: the replication fan-out must not leak
+// scheduling into the metrics.
+func TestMetricsWorkerCountInvariant(t *testing.T) {
+	sc := Scenario{Name: "fanout", Seed: 3, Steps: 25, Population: 12, Replications: 6,
+		Drift: DriftSpec{Model: DriftWalk}, ChurnPerStep: 0.5}
+	run := func(workers int) []byte {
+		rep, err := Run(context.Background(), sc, Options{Workers: workers, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	serial, parallel := run(1), run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("worker count changed the metrics:\n%s\n----\n%s", clip(serial), clip(parallel))
+	}
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 2000 {
+		return b[:2000]
+	}
+	return b
+}
+
+// TestStepAccounting: the per-replication partition invariants hold.
+func TestStepAccounting(t *testing.T) {
+	sc := Scenario{Name: "acct", Seed: 11, Steps: 40, Population: 15, Replications: 3,
+		ChurnPerStep: 0.5, Availability: 0.5}
+	rep, err := Run(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Replications {
+		if r.Decided+r.Undecided+r.Shed != r.Steps {
+			t.Errorf("rep %d: %d decided + %d undecided + %d shed != %d steps",
+				r.Replication, r.Decided, r.Undecided, r.Shed, r.Steps)
+		}
+		if r.Correct > r.Decided {
+			t.Errorf("rep %d: correct %d > decided %d", r.Replication, r.Correct, r.Decided)
+		}
+		if r.Shed != 0 {
+			t.Errorf("rep %d: in-process run shed %d steps", r.Replication, r.Shed)
+		}
+		if len(r.Windows) == 0 {
+			t.Errorf("rep %d: no windows", r.Replication)
+		}
+		if r.Latency != nil {
+			t.Errorf("rep %d: in-process run reported latency", r.Replication)
+		}
+	}
+	if rep.Summary.Accuracy <= 0.5 {
+		t.Errorf("availability-0.5 crowd should still beat coin flipping, accuracy = %g", rep.Summary.Accuracy)
+	}
+}
+
+// TestPosteriorBeatsRandomAndConverges reproduces the paper-shaped
+// headline at test scale: posterior-estimated altruistic selection is
+// more accurate than the random and degree baselines, and its regret
+// shrinks as votes accumulate.
+func TestPosteriorBeatsRandomAndConverges(t *testing.T) {
+	base := Scenario{Seed: 5, Steps: 120, Population: 25, Replications: 3}
+	run := func(name, strategy, estimator string) *Report {
+		sc := base
+		sc.Name, sc.Strategy, sc.Estimator = name, strategy, estimator
+		rep, err := Run(context.Background(), sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	posterior := run("posterior", StrategyAltr, EstimatorPosterior)
+	oracle := run("oracle", StrategyAltr, EstimatorOracle)
+	random := run("random", StrategyRandom, EstimatorPosterior)
+	degree := run("degree", StrategyDegree, EstimatorPosterior)
+
+	if posterior.Summary.Accuracy <= random.Summary.Accuracy {
+		t.Errorf("posterior accuracy %.3f not above random %.3f",
+			posterior.Summary.Accuracy, random.Summary.Accuracy)
+	}
+	if posterior.Summary.Accuracy <= degree.Summary.Accuracy {
+		t.Errorf("posterior accuracy %.3f not above degree %.3f",
+			posterior.Summary.Accuracy, degree.Summary.Accuracy)
+	}
+	if oracle.Summary.Accuracy < posterior.Summary.Accuracy-0.05 {
+		t.Errorf("oracle accuracy %.3f below posterior %.3f: oracle must upper-bound",
+			oracle.Summary.Accuracy, posterior.Summary.Accuracy)
+	}
+	// Convergence: regret in the last window of the run is below the
+	// first window's (estimates tighten as votes accumulate).
+	firstRegret, lastRegret := windowRegretEnds(posterior)
+	if lastRegret >= firstRegret {
+		t.Errorf("posterior regret did not shrink: first-window %.5f, last-window %.5f",
+			firstRegret, lastRegret)
+	}
+	// And the oracle has (near-)zero regret by construction.
+	if oracle.Summary.MeanRegret > 1e-12 {
+		t.Errorf("oracle regret %g, want 0", oracle.Summary.MeanRegret)
+	}
+}
+
+// windowRegretEnds averages the first- and last-window mean regret
+// across replications.
+func windowRegretEnds(rep *Report) (first, last float64) {
+	for _, r := range rep.Replications {
+		n := len(r.Windows)
+		first += r.Windows[0].MeanRegret
+		last += r.Windows[n-1].MeanRegret
+	}
+	n := float64(len(rep.Replications))
+	return first / n, last / n
+}
+
+func TestScenarioValidation(t *testing.T) {
+	valid := Scenario{Name: "ok", Steps: 10, Population: 5}.Normalize()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Scenario){
+		"no steps":       func(s *Scenario) { s.Steps = 0 },
+		"tiny crowd":     func(s *Scenario) { s.Population = 2 },
+		"bad source":     func(s *Scenario) { s.Source = "csv" },
+		"bad drift":      func(s *Scenario) { s.Drift.Model = "chaos" },
+		"bad bounds":     func(s *Scenario) { s.Drift.Min = 0.9 },
+		"bad strategy":   func(s *Scenario) { s.Strategy = "best" },
+		"even fixed":     func(s *Scenario) { s.FixedSize = 4 },
+		"bad estimator":  func(s *Scenario) { s.Estimator = "magic" },
+		"bad avail":      func(s *Scenario) { s.Availability = 1.5 },
+		"negative churn": func(s *Scenario) { s.ChurnPerStep = -1 },
+		"bad prior":      func(s *Scenario) { s.PriorRate = 1 },
+		"shift never fires": func(s *Scenario) {
+			s.Drift.Model = DriftShift
+			s.Drift.ShiftStep = s.Steps // one past the last step
+		},
+	} {
+		sc := valid
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	for name, sc := range Presets() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("no-such"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestReadScenario(t *testing.T) {
+	sc, err := ReadScenario(bytes.NewReader([]byte(`{
+		"name": "file", "seed": 4, "steps": 20, "population": 10,
+		"drift": {"model": "walk", "sigma": 0.02}, "churn_per_step": 0.5
+	}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Drift.Model != DriftWalk || sc.Replications != 1 || sc.WindowSteps != 2 {
+		t.Errorf("scenario = %+v", sc)
+	}
+	if _, err := ReadScenario(bytes.NewReader([]byte(`{"steps": 0}`))); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, err := ReadScenario(bytes.NewReader([]byte(`{"stepz": 5}`))); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestMixSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for rep := 0; rep < 100; rep++ {
+		s := mixSeed(42, rep)
+		if seen[s] {
+			t.Fatalf("duplicate replication seed at rep %d", rep)
+		}
+		seen[s] = true
+	}
+	if mixSeed(1, 0) == mixSeed(2, 0) {
+		t.Error("scenario seeds collide")
+	}
+}
