@@ -24,6 +24,7 @@ import (
 	"juryselect/internal/randx"
 	"juryselect/internal/server"
 	"juryselect/internal/simul"
+	"juryselect/internal/tasks"
 	"juryselect/jury"
 )
 
@@ -223,6 +224,7 @@ func benchRegistry() []namedBench {
 		}},
 	)
 	benches = append(benches, serverBenches()...)
+	benches = append(benches, taskBenches()...)
 	benches = append(benches, simulBenches()...)
 	for _, id := range experiments.List() {
 		benches = append(benches, namedBench{"experiment/" + id, experimentBench(id)})
@@ -306,6 +308,166 @@ func simulBenches() []namedBench {
 			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 			b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
 			b.ReportMetric(float64(all[int(0.99*float64(len(all)-1))]), "p99-ns")
+		}},
+	}
+}
+
+// taskBenches measures the durable task subsystem: full HTTP round trips
+// for task creation (selection + journal) and the vote hot path
+// (posterior update + journal per call), the raw WAL append (framing +
+// CRC + buffered write; the "off" variant is the alloc-guarded kernel,
+// "batch" adds the group-commit fsync wait), and recovery replay
+// throughput (records/s as an extra metric).
+func taskBenches() []namedBench {
+	taskServer := func(b *testing.B, dir string) *httptest.Server {
+		store, err := tasks.Open(tasks.Config{Dir: dir, Sync: tasks.SyncOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.PutPool("crowd", benchPoolJurors(101)); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(server.Config{Tasks: store}).Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			store.Close() //nolint:errcheck
+		})
+		return ts
+	}
+	post := func(b *testing.B, url string, body []byte, want int) []byte {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			b.Fatalf("%s: status %d: %s", url, resp.StatusCode, raw)
+		}
+		return raw
+	}
+	return []namedBench{
+		{"ServerTaskCreate/n101", func(b *testing.B) {
+			ts := taskServer(b, b.TempDir())
+			body := []byte(`{"pool":"crowd"}`)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, ts.URL+"/v1/tasks", body, http.StatusCreated)
+			}
+		}},
+		{"ServerTaskVote/n101", func(b *testing.B) {
+			// One vote per op against always-fresh fixed-jury tasks: a
+			// task is created (untimed) every jurySize votes.
+			ts := taskServer(b, b.TempDir())
+			created := post(b, ts.URL+"/v1/tasks", []byte(`{"pool":"crowd","target_confidence":1}`), http.StatusCreated)
+			var cr struct {
+				Task struct {
+					ID     string `json:"id"`
+					Jurors []struct {
+						ID string `json:"id"`
+					} `json:"jurors"`
+				} `json:"task"`
+			}
+			if err := json.Unmarshal(created, &cr); err != nil {
+				b.Fatal(err)
+			}
+			id, jurors, next := cr.Task.ID, cr.Task.Jurors, 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if next == len(jurors) {
+					b.StopTimer()
+					created = post(b, ts.URL+"/v1/tasks", []byte(`{"pool":"crowd","target_confidence":1}`), http.StatusCreated)
+					if err := json.Unmarshal(created, &cr); err != nil {
+						b.Fatal(err)
+					}
+					id, jurors, next = cr.Task.ID, cr.Task.Jurors, 0
+					b.StartTimer()
+				}
+				body := []byte(fmt.Sprintf(`{"juror_id":%q,"vote":true}`, jurors[next].ID))
+				post(b, ts.URL+"/v1/tasks/"+id+"/votes", body, http.StatusOK)
+				next++
+			}
+		}},
+		{"WALAppend/off", func(b *testing.B) {
+			w, _, err := tasks.OpenWAL(filepath.Join(b.TempDir(), "wal.log"), tasks.WALOptions{Sync: tasks.SyncOff})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close() //nolint:errcheck
+			payload := []byte(`{"t":"vote","task":"t00000001","juror":"j00042","vote":true}`)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALAppend/batch", func(b *testing.B) {
+			w, _, err := tasks.OpenWAL(filepath.Join(b.TempDir(), "wal.log"), tasks.WALOptions{
+				Sync: tasks.SyncBatch, BatchInterval: 500 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close() //nolint:errcheck
+			payload := []byte(`{"t":"vote","task":"t00000001","juror":"j00042","vote":true}`)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALReplay/votes", func(b *testing.B) {
+			// A vote-heavy log: 100 fixed-jury tasks fully voted through
+			// the store, then each op recovers the whole directory.
+			dir := b.TempDir()
+			store, err := tasks.Open(tasks.Config{Dir: dir, Sync: tasks.SyncOff, CompactEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := store.PutPool("crowd", benchPoolJurors(101)); err != nil {
+				b.Fatal(err)
+			}
+			records := int64(1)
+			for i := 0; i < 100; i++ {
+				v, err := store.Create(context.Background(), tasks.Spec{Pool: "crowd", TargetConfidence: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				records++
+				for _, j := range v.Jurors {
+					if _, err := store.Vote(v.ID, j.ID, i%2 == 0); err != nil {
+						b.Fatal(err)
+					}
+					records++
+				}
+			}
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := tasks.Open(tasks.Config{Dir: dir, Sync: tasks.SyncOff, CompactEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s2.Recovery().Records != records {
+					b.Fatalf("replayed %d records, want %d", s2.Recovery().Records, records)
+				}
+				b.StopTimer()
+				s2.Close() //nolint:errcheck
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(records*int64(b.N))/b.Elapsed().Seconds(), "records/s")
 		}},
 	}
 }

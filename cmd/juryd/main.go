@@ -1,38 +1,58 @@
 // Command juryd serves jury selection over HTTP/JSON: the paper's
 // decision-making primitive as an online service backed by a versioned
-// live juror-pool store.
+// live juror-pool store and a durable decision-task store.
 //
 // Usage:
 //
 //	juryd [-addr :8080] [-pool name=jurors.csv ...] [-workers N]
 //	      [-cache N] [-max-inflight N] [-max-queue N]
 //	      [-timeout 5s] [-max-timeout 30s] [-drain 10s] [-drain-delay 0s]
+//	      [-wal-dir DIR] [-fsync batch] [-compact-every N]
+//	      [-sweep 1s] [-juror-timeout 60s] [-task-expiry 1h]
 //
 // Endpoints:
 //
 //	POST   /v1/jer                   exact JER of one jury
 //	POST   /v1/select                minimum-JER jury from a pool or inline
+//	POST   /v1/tasks                 open a decision task (select its jury)
+//	GET    /v1/tasks                 list tasks (?status=open|awaiting_votes|decided|expired)
+//	GET    /v1/tasks/{id}            one task with jurors, votes and verdict
+//	POST   /v1/tasks/{id}/votes      record a juror's vote or decline
 //	GET    /v1/pools                 list pools
 //	GET    /v1/pools/{name}          one pool snapshot (with jurors)
 //	PUT    /v1/pools/{name}/jurors   replace the pool
 //	PATCH  /v1/pools/{name}/jurors   incremental updates / observed votes
 //	DELETE /v1/pools/{name}          drop the pool
 //	GET    /healthz                  200 serving / 503 draining
-//	GET    /metrics                  request, shed and engine counters
+//	GET    /metrics                  request, shed, engine, task and WAL counters
+//
+// Durability: with -wal-dir set, every pool and task mutation is
+// journaled to a CRC-framed write-ahead log (fsync policy per -fsync:
+// "always" = fsync before acknowledging each write, "batch" = group
+// commit on a short timer, "off" = kernel-paced) and periodically folded
+// into a snapshot (-compact-every records). On boot juryd replays
+// snapshot + log — truncating a torn tail from a crash mid-write — to
+// the exact pre-crash state, so a kill -9 loses nothing acknowledged
+// under -fsync always. Without -wal-dir the task store is ephemeral.
+//
+// A background sweeper (period -sweep) releases invited jurors who have
+// not answered within -juror-timeout — inviting the next-best candidate
+// under the remaining budget — and expires tasks older than
+// -task-expiry.
 //
 // Each -pool flag preloads a pool from a CSV (id,error_rate[,cost]) or
-// JSON file, by extension. On SIGTERM or SIGINT the server flips
-// /healthz to 503 and — when -drain-delay is set — keeps serving for
-// that window so load balancers observe the drain and deregister, then
-// stops accepting connections, drains in-flight requests for at most
-// -drain, and exits 0. Behind a load balancer set -drain-delay to at
-// least one health-check interval; the default 0 shuts down
-// immediately.
+// JSON file, by extension; a pool already recovered from the WAL is NOT
+// overwritten by its preload file (the journal is authoritative). On
+// SIGTERM or SIGINT the server flips /healthz to 503 and — when
+// -drain-delay is set — keeps serving for that window so load balancers
+// observe the drain and deregister, then stops accepting connections,
+// drains in-flight requests for at most -drain, flushes the WAL, and
+// exits 0.
 //
 // Example:
 //
-//	$ juryd -addr :8080 -pool crowd=jurors.csv &
-//	$ curl -s localhost:8080/v1/select -d '{"pool":"crowd"}'
+//	$ juryd -addr :8080 -pool crowd=jurors.csv -wal-dir /var/lib/juryd &
+//	$ curl -s localhost:8080/v1/tasks -d '{"pool":"crowd","question":"is it true?"}'
 package main
 
 import (
@@ -47,11 +67,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"juryselect/internal/dataio"
 	"juryselect/internal/server"
+	"juryselect/internal/tasks"
 	"juryselect/jury"
 )
 
@@ -75,6 +97,13 @@ type config struct {
 	maxTimeout  time.Duration
 	drain       time.Duration
 	drainDelay  time.Duration
+
+	walDir       string
+	fsync        string
+	compactEvery int
+	sweep        time.Duration
+	jurorTimeout time.Duration
+	taskExpiry   time.Duration
 }
 
 func main() {
@@ -89,6 +118,12 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "cap on request-supplied deadlines (0 = 30s)")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.DurationVar(&cfg.drainDelay, "drain-delay", 0, "serve 503 on /healthz for this long before closing listeners, so load balancers observe the drain and deregister (0 = shut down immediately)")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "directory for the task/pool write-ahead log (empty = ephemeral store)")
+	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL durability: always, batch, or off")
+	flag.IntVar(&cfg.compactEvery, "compact-every", 0, "WAL records between snapshot compactions (0 = default, negative = never)")
+	flag.DurationVar(&cfg.sweep, "sweep", time.Second, "juror-timeout/expiry sweep period (0 = no sweeper)")
+	flag.DurationVar(&cfg.jurorTimeout, "juror-timeout", 0, "default juror response timeout (0 = 60s)")
+	flag.DurationVar(&cfg.taskExpiry, "task-expiry", 0, "default task expiry (0 = 1h)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -111,19 +146,89 @@ func main() {
 // on hurry (a second shutdown signal) cuts the -drain-delay window
 // short; nil disables that escalation.
 func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- string, hurry <-chan os.Signal) error {
+	var syncMode tasks.SyncMode
+	switch cfg.fsync {
+	case "always":
+		syncMode = tasks.SyncAlways
+	case "batch", "":
+		syncMode = tasks.SyncBatch
+	case "off":
+		syncMode = tasks.SyncOff
+	default:
+		return fmt.Errorf("bad -fsync %q (want always, batch or off)", cfg.fsync)
+	}
+	eng := jury.NewEngine(jury.BatchOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize})
+	store, err := tasks.Open(tasks.Config{
+		Dir:                 cfg.walDir,
+		Sync:                syncMode,
+		Engine:              eng,
+		CompactEvery:        cfg.compactEvery,
+		DefaultJurorTimeout: cfg.jurorTimeout,
+		DefaultExpiry:       cfg.taskExpiry,
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close() //nolint:errcheck // re-closed explicitly after drain
+	if store.Durable() {
+		rec := store.Recovery()
+		logger.Printf("wal %s: recovered %d records (%d pools, %d tasks, snapshot=%v)",
+			cfg.walDir, rec.Records, rec.Pools, rec.Tasks, rec.SnapshotLoaded)
+		if rec.TornBytes > 0 {
+			logger.Printf("wal: truncated %d-byte torn tail (crash mid-write)", rec.TornBytes)
+		}
+	}
 	srv := server.New(server.Config{
-		Engine:         jury.NewEngine(jury.BatchOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
+		Engine:         eng,
+		Tasks:          store,
 		MaxInflight:    cfg.maxInflight,
 		MaxQueue:       cfg.maxQueue,
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
 	})
 	for _, spec := range cfg.pools {
-		name, size, err := loadPool(srv.Store(), spec)
+		name, size, skipped, err := loadPool(store, spec)
 		if err != nil {
 			return err
 		}
-		logger.Printf("loaded pool %q (%d jurors)", name, size)
+		if skipped {
+			logger.Printf("pool %q already recovered from the WAL; skipping preload", name)
+		} else {
+			logger.Printf("loaded pool %q (%d jurors)", name, size)
+		}
+	}
+
+	// The sweeper applies wall-clock policy: juror timeouts (with
+	// replacement) and task expiry. stopSweeper joins the goroutine —
+	// it must have fully stopped before the store's WAL closes, or a
+	// final tick would race the close and log a spurious journal error.
+	stopSweeper := func() {}
+	if cfg.sweep > 0 {
+		sweepDone := make(chan struct{})
+		sweepExited := make(chan struct{})
+		var sweepOnce sync.Once
+		stopSweeper = func() {
+			sweepOnce.Do(func() {
+				close(sweepDone)
+				<-sweepExited
+			})
+		}
+		defer stopSweeper()
+		go func() {
+			defer close(sweepExited)
+			ticker := time.NewTicker(cfg.sweep)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-sweepDone:
+					return
+				case <-ticker.C:
+					if _, _, err := store.Sweep(time.Now().UTC()); err != nil {
+						logger.Printf("sweep: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -171,20 +276,29 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	stopSweeper()
+	if err := store.Close(); err != nil {
+		return fmt.Errorf("closing task store: %w", err)
+	}
 	logger.Printf("drained cleanly")
 	return nil
 }
 
-// loadPool parses one -pool flag ("name=path") and loads the file into
-// the store, choosing the reader by extension.
-func loadPool(store *server.Store, spec string) (name string, size int, err error) {
+// loadPool parses one -pool flag ("name=path") and loads the file
+// through the task store's journal, choosing the reader by extension. A
+// pool already recovered from the WAL wins over its preload file: the
+// journal carries every vote-driven re-estimate the file predates.
+func loadPool(store *tasks.Store, spec string) (name string, size int, skipped bool, err error) {
 	name, path, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || path == "" {
-		return "", 0, fmt.Errorf("bad -pool %q (want name=path)", spec)
+		return "", 0, false, fmt.Errorf("bad -pool %q (want name=path)", spec)
+	}
+	if _, exists := store.Pools().Get(name); exists {
+		return name, 0, true, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return "", 0, err
+		return "", 0, false, err
 	}
 	defer f.Close()
 	var jurors []jury.Juror
@@ -194,13 +308,13 @@ func loadPool(store *server.Store, spec string) (name string, size int, err erro
 	case ".json":
 		jurors, err = dataio.ReadJSON(f)
 	default:
-		return "", 0, fmt.Errorf("pool %q: unknown extension %q (want .csv or .json)", name, ext)
+		return "", 0, false, fmt.Errorf("pool %q: unknown extension %q (want .csv or .json)", name, ext)
 	}
 	if err != nil {
-		return "", 0, fmt.Errorf("pool %q: %w", name, err)
+		return "", 0, false, fmt.Errorf("pool %q: %w", name, err)
 	}
-	if _, err := store.Put(name, jurors); err != nil {
-		return "", 0, fmt.Errorf("pool %q: %w", name, err)
+	if _, err := store.PutPool(name, jurors); err != nil {
+		return "", 0, false, fmt.Errorf("pool %q: %w", name, err)
 	}
-	return name, len(jurors), nil
+	return name, len(jurors), false, nil
 }

@@ -13,7 +13,7 @@ import (
 	"testing"
 	"time"
 
-	"juryselect/internal/server"
+	"juryselect/internal/tasks"
 )
 
 const sampleCSV = `id,error_rate,cost
@@ -37,19 +37,30 @@ func TestLoadPool(t *testing.T) {
 	csvPath := writeSample(t, "crowd.csv", sampleCSV)
 	jsonPath := writeSample(t, "crowd.json", `[{"id":"A","error_rate":0.1}]`)
 
-	store := server.NewStore()
-	name, size, err := loadPool(store, "crowd="+csvPath)
+	store, err := tasks.Open(tasks.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "crowd" || size != 5 {
-		t.Fatalf("loaded %q/%d, want crowd/5", name, size)
-	}
-	if _, _, err := loadPool(store, "tiny="+jsonPath); err != nil {
+	name, size, skipped, err := loadPool(store, "crowd="+csvPath)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if store.Len() != 2 {
-		t.Fatalf("store holds %d pools", store.Len())
+	if name != "crowd" || size != 5 || skipped {
+		t.Fatalf("loaded %q/%d/%v, want crowd/5/false", name, size, skipped)
+	}
+	if _, _, _, err := loadPool(store, "tiny="+jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if store.Pools().Len() != 2 {
+		t.Fatalf("store holds %d pools", store.Pools().Len())
+	}
+	// A pool already in the store (e.g. recovered from the WAL) is not
+	// overwritten by its preload file.
+	if _, _, skipped, err := loadPool(store, "crowd="+jsonPath); err != nil || !skipped {
+		t.Fatalf("re-load = skipped %v err %v, want skip", skipped, err)
+	}
+	if p, _ := store.Pools().Get("crowd"); p.Size() != 5 {
+		t.Fatalf("preload overwrote the recovered pool: %d jurors", p.Size())
 	}
 
 	for _, bad := range []string{
@@ -59,7 +70,7 @@ func TestLoadPool(t *testing.T) {
 		"name=" + writeSample(t, "x.xml", "<jurors/>"),
 		"name=/nonexistent/file.csv",
 	} {
-		if _, _, err := loadPool(store, bad); err == nil {
+		if _, _, _, err := loadPool(store, bad); err == nil {
 			t.Errorf("loadPool(%q) accepted", bad)
 		}
 	}
@@ -191,6 +202,116 @@ func TestDrainDelayKeepsHealthzObservable(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not exit")
+	}
+}
+
+// TestRunTaskLifecycleSurvivesRestart boots juryd with a WAL, drives a
+// task to a verdict plus a second task mid-vote, stops the server, and
+// requires a restarted instance (same WAL dir, preload skipped) to serve
+// byte-identical task and pool state.
+func TestRunTaskLifecycleSurvivesRestart(t *testing.T) {
+	csvPath := writeSample(t, "crowd.csv", sampleCSV)
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	boot := func() (addr string, cancel context.CancelFunc, done chan error) {
+		ctx, stop := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done = make(chan error, 1)
+		go func() {
+			done <- run(ctx, config{
+				addr:   "127.0.0.1:0",
+				pools:  poolFlags{"crowd=" + csvPath},
+				drain:  5 * time.Second,
+				walDir: walDir,
+				fsync:  "always",
+				sweep:  0, // deterministic: no wall-clock sweeps mid-test
+			}, log.New(io.Discard, "", 0), ready, nil)
+		}()
+		select {
+		case addr = <-ready:
+		case err := <-done:
+			t.Fatalf("server exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		return addr, stop, done
+	}
+	postJSON := func(base, path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	getBody := func(base, path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+
+	addr, stop, done := boot()
+	base := "http://" + addr
+	created := postJSON(base, "/v1/tasks", `{"pool":"crowd","question":"q1","target_confidence":0.95}`)
+	task1 := created["task"].(map[string]any)
+	id1 := task1["id"].(string)
+	for _, j := range task1["jurors"].([]any) {
+		jid := j.(map[string]any)["id"].(string)
+		out := postJSON(base, "/v1/tasks/"+id1+"/votes",
+			`{"juror_id":"`+jid+`","vote":true}`)
+		if out["task"].(map[string]any)["status"] == "decided" {
+			break
+		}
+	}
+	// A high target keeps this task open across the restart (a single
+	// reliable juror's vote already reaches 0.9).
+	created2 := postJSON(base, "/v1/tasks", `{"pool":"crowd","target_confidence":0.995}`)
+	task2 := created2["task"].(map[string]any)
+	id2 := task2["id"].(string)
+	j0 := task2["jurors"].([]any)[0].(map[string]any)["id"].(string)
+	postJSON(base, "/v1/tasks/"+id2+"/votes", `{"juror_id":"`+j0+`","vote":false}`)
+
+	beforeTasks := getBody(base, "/v1/tasks")
+	beforePool := getBody(base, "/v1/pools/crowd")
+	stop()
+	if err := <-done; err != nil {
+		t.Fatalf("first instance failed: %v", err)
+	}
+
+	addr2, stop2, done2 := boot()
+	defer func() {
+		stop2()
+		<-done2
+	}()
+	base2 := "http://" + addr2
+	if got := getBody(base2, "/v1/tasks"); got != beforeTasks {
+		t.Fatalf("recovered tasks diverge:\n%s\nvs\n%s", got, beforeTasks)
+	}
+	if got := getBody(base2, "/v1/pools/crowd"); got != beforePool {
+		t.Fatalf("recovered pool diverges:\n%s\nvs\n%s", got, beforePool)
+	}
+	// The recovered open task keeps accepting votes.
+	j1 := task2["jurors"].([]any)[1].(map[string]any)["id"].(string)
+	out := postJSON(base2, "/v1/tasks/"+id2+"/votes", `{"juror_id":"`+j1+`","vote":false}`)
+	if spent := out["task"].(map[string]any)["votes_spent"].(float64); spent != 2 {
+		t.Fatalf("votes_spent after recovery = %g, want 2", spent)
 	}
 }
 

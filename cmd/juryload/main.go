@@ -19,8 +19,19 @@
 //	           /v1/select per question), recording request latency and
 //	           absorbing 429 shedding via Retry-After backoff
 //
-// Override flags (-seed, -steps, -replications, -strategy, -estimator)
-// tweak the loaded scenario, so one preset sweeps into a whole table:
+// The task presets drive the durable decision-task lifecycle instead of
+// one-shot selection: per question a task is created (POST /v1/tasks),
+// invited jurors vote or decline one at a time under the availability
+// draw, non-responders are replaced by the next-best candidate, and the
+// task closes by sequential early stop. -lifecycle and
+// -target-confidence switch any scenario into (or tune) that mode:
+//
+//	juryload -preset task -target-confidence 1 -out fixed.json
+//	juryload -preset flaky -lifecycle task -mode http -addr http://127.0.0.1:8080
+//
+// Override flags (-seed, -steps, -replications, -strategy, -estimator,
+// -lifecycle, -target-confidence) tweak the loaded scenario, so one
+// preset sweeps into a whole table:
 //
 //	for s in altr random degree; do
 //	  juryload -preset drift -strategy $s -out drift-$s.json
@@ -51,6 +62,8 @@ type config struct {
 	replications int
 	strategy     string
 	estimator    string
+	lifecycle    string
+	targetConf   float64
 	workers      int
 	trace        bool
 	quiet        bool
@@ -70,6 +83,8 @@ func main() {
 	flag.IntVar(&cfg.replications, "replications", 0, "override the scenario replication count")
 	flag.StringVar(&cfg.strategy, "strategy", "", "override the selection strategy (altr|pay|exact|random|degree)")
 	flag.StringVar(&cfg.estimator, "estimator", "", "override the estimation policy (oracle|posterior|em)")
+	flag.StringVar(&cfg.lifecycle, "lifecycle", "", "override the lifecycle (select|task)")
+	flag.Float64Var(&cfg.targetConf, "target-confidence", 0, "override the task early-stop confidence target in (0.5, 1]; 1 = fixed jury")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel replications (0 = all cores)")
 	flag.BoolVar(&cfg.trace, "trace", false, "include the per-step trace in the JSON")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the human-readable summary")
@@ -169,6 +184,12 @@ func loadScenario(cfg config) (simul.Scenario, error) {
 	if cfg.estimator != "" {
 		sc.Estimator = cfg.estimator
 	}
+	if cfg.lifecycle != "" {
+		sc.Lifecycle = cfg.lifecycle
+	}
+	if cfg.targetConf != 0 {
+		sc.TargetConfidence = cfg.targetConf
+	}
 	sc = sc.Normalize()
 	return sc, sc.Validate()
 }
@@ -180,10 +201,10 @@ func listPresets(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	tb := tablefmt.New("Built-in scenarios", "name", "steps", "population", "drift", "churn/step", "strategy", "estimator", "replications")
+	tb := tablefmt.New("Built-in scenarios", "name", "steps", "population", "drift", "churn/step", "strategy", "lifecycle", "estimator", "replications")
 	for _, name := range names {
 		sc := presets[name]
-		tb.AddRow(name, sc.Steps, sc.Population, sc.Drift.Model, sc.ChurnPerStep, sc.Strategy, sc.Estimator, sc.Replications)
+		tb.AddRow(name, sc.Steps, sc.Population, sc.Drift.Model, sc.ChurnPerStep, sc.Strategy, sc.Lifecycle, sc.Estimator, sc.Replications)
 	}
 	return tb.Render(w)
 }
@@ -198,6 +219,15 @@ func printSummary(w io.Writer, rep *simul.Report, elapsed time.Duration) {
 		float64(totalSteps)/elapsed.Seconds())
 	fmt.Fprintf(w, "accuracy %.4f  regret %.6f  calibration %.6f  window accuracy %.4f → %.4f\n",
 		s.Accuracy, s.MeanRegret, s.MeanCalibration, s.FirstWindowAccuracy, s.LastWindowAccuracy)
+	if sc.Lifecycle == simul.LifecycleTask {
+		var declines, replacements int
+		for _, r := range rep.Replications {
+			declines += r.TotalDeclines
+			replacements += r.Replacements
+		}
+		fmt.Fprintf(w, "votes/task %.2f  early-stop rate %.2f  declines %d  replacements %d\n",
+			s.MeanVotesSpent, s.EarlyStopRate, declines, replacements)
+	}
 	if rep.Mode == simul.ModeHTTP {
 		fmt.Fprintf(w, "shed %d steps (rate %.4f), %d retries absorbed\n", s.TotalShed, s.ShedRate, s.TotalRetries)
 		if lat := rep.Replications[0].Latency; lat != nil {

@@ -12,6 +12,7 @@ import (
 
 	"juryselect/internal/server"
 	"juryselect/internal/simul"
+	"juryselect/internal/tasks"
 )
 
 func runCLI(t *testing.T, cfg config) (stdout, stderr string) {
@@ -108,6 +109,65 @@ func TestHTTPModeAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestTaskModeAgainstLiveServer drives the task preset over HTTP —
+// create → sequential votes/declines → verdict per question — and
+// checks the summary carries the lifecycle accounting, matching the
+// in-process trajectory exactly.
+func TestTaskModeAgainstLiveServer(t *testing.T) {
+	store, err := tasks.Open(tasks.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{Tasks: store}).Handler())
+	defer ts.Close()
+	out, stderr := runCLI(t, config{
+		preset: "task-smoke", mode: simul.ModeHTTP, addr: ts.URL,
+	})
+	var rep simul.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario.Lifecycle != simul.LifecycleTask {
+		t.Fatalf("lifecycle = %q", rep.Scenario.Lifecycle)
+	}
+	if rep.Summary.MeanVotesSpent <= 0 {
+		t.Fatalf("task summary missing vote accounting: %+v", rep.Summary)
+	}
+	if !strings.Contains(stderr, "votes/task") {
+		t.Errorf("summary missing task line: %s", stderr)
+	}
+	local, _ := runCLI(t, config{preset: "task-smoke", mode: simul.ModeInProcess, quiet: true})
+	var lrep simul.Report
+	if err := json.Unmarshal([]byte(local), &lrep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.TotalShed == 0 {
+		if lrep.Summary.Accuracy != rep.Summary.Accuracy ||
+			lrep.Summary.MeanVotesSpent != rep.Summary.MeanVotesSpent {
+			t.Errorf("modes disagree: local %.6f/%.4f http %.6f/%.4f",
+				lrep.Summary.Accuracy, lrep.Summary.MeanVotesSpent,
+				rep.Summary.Accuracy, rep.Summary.MeanVotesSpent)
+		}
+	}
+}
+
+// TestLifecycleOverride flips a select preset into task mode.
+func TestLifecycleOverride(t *testing.T) {
+	sc, err := loadScenario(config{preset: "smoke", lifecycle: "task", targetConf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Lifecycle != simul.LifecycleTask || sc.TargetConfidence != 1 {
+		t.Fatalf("overrides not applied: %+v", sc)
+	}
+	if _, err := loadScenario(config{preset: "smoke", lifecycle: "carrier-pigeon"}); err == nil {
+		t.Fatal("bad lifecycle accepted")
+	}
+	if _, err := loadScenario(config{preset: "task", targetConf: 0.2}); err == nil {
+		t.Fatal("bad target confidence accepted")
+	}
+}
+
 func TestStepsOverrideRederivesShiftStep(t *testing.T) {
 	// The shift preset bakes in ShiftStep = Steps/2; shortening the run
 	// must move the shift with it rather than silently never firing.
@@ -125,7 +185,7 @@ func TestStepsOverrideRederivesShiftStep(t *testing.T) {
 
 func TestListPresets(t *testing.T) {
 	out, _ := runCLI(t, config{list: true})
-	for _, want := range []string{"convergence", "drift", "churn", "smoke"} {
+	for _, want := range []string{"convergence", "drift", "churn", "smoke", "task"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("preset list missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,89 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTargetConfidence is the posterior confidence at which a
+// decision task closes early when the requester does not specify one.
+const DefaultTargetConfidence = 0.9
+
+// VerdictPosterior accumulates juror votes on one binary decision task
+// into the exact posterior probability of the positive answer. Under the
+// paper's model (Definition 4: juror i votes against the latent truth
+// independently with probability ε_i) and a uniform prior over the two
+// answers, Bayes' rule gives
+//
+//	P(yes | votes) ∝ ∏_{i voted yes} (1−ε_i) · ∏_{i voted no} ε_i
+//
+// which the accumulator maintains in log-odds form: each vote adds
+// ±log((1−ε_i)/ε_i), the juror's evidence weight. A reliable juror
+// (small ε) moves the posterior a lot; a near-coin-flip juror barely
+// moves it. This is the sequential, pay-as-you-go view of the same
+// likelihood the JER kernel integrates over all vote patterns: instead
+// of pre-paying the whole jury and trusting the majority, the task
+// closes as soon as the posterior confidence max(P, 1−P) crosses its
+// target — spending only as many votes as the evidence requires.
+//
+// Observations are folded in O(1) with a fixed floating-point order, so
+// a WAL replay that re-observes the same votes reproduces the posterior
+// bit for bit. The zero value is ready to use (uniform prior, log-odds
+// zero).
+type VerdictPosterior struct {
+	logOdds float64
+	votes   int
+}
+
+// RestoreVerdictPosterior rebuilds an accumulator from persisted state
+// (a snapshot's log-odds and vote count). Re-observing the same votes in
+// the same order would yield the identical value; restoring the raw
+// state skips the replay while preserving bit-identity even if the
+// caller no longer knows the observation order.
+func RestoreVerdictPosterior(logOdds float64, votes int) VerdictPosterior {
+	return VerdictPosterior{logOdds: logOdds, votes: votes}
+}
+
+// Observe folds one vote by a juror with the given estimated error rate.
+// The rate must lie strictly inside (0,1).
+func (v *VerdictPosterior) Observe(voteYes bool, errorRate float64) error {
+	if math.IsNaN(errorRate) || errorRate <= 0 || errorRate >= 1 {
+		return fmt.Errorf("estimate: vote error rate %g outside (0,1)", errorRate)
+	}
+	w := math.Log((1 - errorRate) / errorRate)
+	if voteYes {
+		v.logOdds += w
+	} else {
+		v.logOdds -= w
+	}
+	v.votes++
+	return nil
+}
+
+// Votes returns the number of observations folded in.
+func (v *VerdictPosterior) Votes() int { return v.votes }
+
+// LogOdds returns log(P(yes|votes) / P(no|votes)).
+func (v *VerdictPosterior) LogOdds() float64 { return v.logOdds }
+
+// PYes returns the posterior probability of the positive answer.
+func (v *VerdictPosterior) PYes() float64 {
+	return 1 / (1 + math.Exp(-v.logOdds))
+}
+
+// Verdict returns the maximum-a-posteriori answer and its confidence
+// max(P, 1−P) ∈ [0.5, 1). With zero votes (or perfectly balanced
+// evidence) it returns (true, 0.5): callers distinguish a real verdict
+// from an uninformative one via Decisive.
+func (v *VerdictPosterior) Verdict() (yes bool, confidence float64) {
+	p := v.PYes()
+	if p >= 0.5 {
+		return true, p
+	}
+	return false, 1 - p
+}
+
+// Decisive reports whether the evidence favours one answer at all
+// (non-zero log-odds): the condition for emitting a verdict when a task
+// runs out of jurors before reaching its confidence target.
+func (v *VerdictPosterior) Decisive() bool { return v.logOdds != 0 }

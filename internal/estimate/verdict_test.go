@@ -1,0 +1,124 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteForcePYes computes P(yes | votes) directly from the product-form
+// likelihood the log-odds accumulator is supposed to maintain.
+func bruteForcePYes(votes []bool, rates []float64) float64 {
+	yes, no := 1.0, 1.0
+	for i, v := range votes {
+		if v {
+			yes *= 1 - rates[i]
+			no *= rates[i]
+		} else {
+			yes *= rates[i]
+			no *= 1 - rates[i]
+		}
+	}
+	return yes / (yes + no)
+}
+
+func TestVerdictPosteriorMatchesBruteForce(t *testing.T) {
+	votes := []bool{true, true, false, true, false, false, true}
+	rates := []float64{0.1, 0.3, 0.2, 0.45, 0.05, 0.4, 0.25}
+	var p VerdictPosterior
+	for i, v := range votes {
+		if err := p.Observe(v, rates[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := bruteForcePYes(votes, rates)
+	if got := p.PYes(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PYes = %g, brute force %g", got, want)
+	}
+	if p.Votes() != len(votes) {
+		t.Fatalf("votes = %d, want %d", p.Votes(), len(votes))
+	}
+}
+
+func TestVerdictPosteriorZeroValue(t *testing.T) {
+	var p VerdictPosterior
+	if got := p.PYes(); got != 0.5 {
+		t.Fatalf("uniform prior PYes = %g, want 0.5", got)
+	}
+	yes, conf := p.Verdict()
+	if !yes || conf != 0.5 {
+		t.Fatalf("zero-vote verdict = (%v, %g), want (true, 0.5)", yes, conf)
+	}
+	if p.Decisive() {
+		t.Fatal("zero votes reported decisive")
+	}
+}
+
+func TestVerdictPosteriorSymmetry(t *testing.T) {
+	// A yes and a no from equally reliable jurors cancel exactly.
+	var p VerdictPosterior
+	if err := p.Observe(true, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(false, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if p.LogOdds() != 0 {
+		t.Fatalf("cancelling votes left log-odds %g", p.LogOdds())
+	}
+	if p.Decisive() {
+		t.Fatal("balanced evidence reported decisive")
+	}
+}
+
+func TestVerdictPosteriorReliabilityWeighting(t *testing.T) {
+	// One reliable yes outweighs one unreliable no.
+	var p VerdictPosterior
+	if err := p.Observe(true, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(false, 0.45); err != nil {
+		t.Fatal(err)
+	}
+	yes, conf := p.Verdict()
+	if !yes || conf <= 0.5 {
+		t.Fatalf("verdict = (%v, %g), want yes with confidence > 0.5", yes, conf)
+	}
+	// A near-coin-flip juror moves the posterior less than a sharp one.
+	var sharp, dull VerdictPosterior
+	sharp.Observe(true, 0.1) //nolint:errcheck
+	dull.Observe(true, 0.49) //nolint:errcheck
+	if sharp.PYes() <= dull.PYes() {
+		t.Fatalf("sharp juror (%g) moved posterior less than dull (%g)", sharp.PYes(), dull.PYes())
+	}
+}
+
+func TestVerdictPosteriorRejectsBadRates(t *testing.T) {
+	var p VerdictPosterior
+	for _, rate := range []float64{0, 1, -0.1, 1.5, math.NaN()} {
+		if err := p.Observe(true, rate); err == nil {
+			t.Errorf("rate %g accepted", rate)
+		}
+	}
+	if p.Votes() != 0 {
+		t.Fatalf("rejected observations counted: %d", p.Votes())
+	}
+}
+
+func TestVerdictPosteriorDeterministicOrder(t *testing.T) {
+	// Same vote sequence ⇒ bit-identical posterior (the WAL replay
+	// contract). Different orders may differ in the last ulp, which is
+	// exactly why replay re-observes in the recorded order.
+	run := func() float64 {
+		var p VerdictPosterior
+		rates := []float64{0.31, 0.12, 0.44, 0.27}
+		for i, r := range rates {
+			if err := p.Observe(i%2 == 0, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.PYes()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same sequence produced %g then %g", a, b)
+	}
+}

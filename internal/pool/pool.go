@@ -1,0 +1,431 @@
+// Package pool implements the versioned live juror-pool store behind
+// juryd: a directory of named pools with copy-on-write snapshots
+// published through one atomic pointer. Reads (the selection hot path)
+// are lock-free; writes serialize on a mutex, rebuild the affected pool,
+// and publish a new immutable snapshot.
+//
+// The package sits below both internal/server (which serves pool CRUD
+// over HTTP) and internal/tasks (which journals every pool mutation to
+// its write-ahead log): extracting it from the server package is what
+// lets the durable task store wrap pool writes without an import cycle.
+// For recovery, writes accept explicit timestamps (PutAt, PatchAt) so a
+// WAL replay republishes byte-identical snapshots, and Export/Restore
+// round-trip the full store state for snapshot compaction.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"juryselect/internal/core"
+	"juryselect/internal/estimate"
+	"juryselect/jury"
+)
+
+// Store errors surfaced on the pool CRUD endpoints.
+var (
+	// ErrPoolNotFound reports a request against a pool name the store
+	// does not hold.
+	ErrPoolNotFound = errors.New("pool: not found")
+	// ErrUnknownJuror reports a patch update addressing a juror ID not in
+	// the pool and carrying no error rate to insert it with.
+	ErrUnknownJuror = errors.New("pool: unknown juror")
+	// ErrNoUpdates reports an empty patch.
+	ErrNoUpdates = errors.New("pool: patch carries no updates")
+	// ErrDuplicateJuror reports a Put whose juror set repeats an ID.
+	// Unlike the solvers (where duplicate IDs merely make reports
+	// ambiguous), the pool store addresses jurors by ID on the PATCH
+	// path, so uniqueness is required at ingest.
+	ErrDuplicateJuror = errors.New("pool: duplicate juror id")
+)
+
+// PoolJuror is one candidate in a live pool: the model juror plus the
+// cumulative voting record the PATCH path folds into its error rate.
+type PoolJuror struct {
+	jury.Juror
+	// WrongVotes and TotalVotes accumulate the observed outcomes applied
+	// via JurorUpdate.Votes. A direct ErrorRate set resets them: the new
+	// rate is a fresh prior.
+	WrongVotes int64
+	TotalVotes int64
+}
+
+// Pool is one immutable snapshot of a named juror pool. Snapshots are
+// never mutated after publication: an update builds a new Pool and swaps
+// the store's directory pointer, so a reader holding a *Pool sees one
+// consistent version for as long as it keeps the pointer, with no lock
+// held.
+type Pool struct {
+	// Name is the pool's identifier in the store.
+	Name string
+	// Version increments on every successful Put or Patch, starting at 1.
+	// It never resets for a given name — not even across Delete and
+	// re-Put — so clients can order every snapshot they ever observed
+	// under that name.
+	Version uint64
+	// UpdatedAt is the time the snapshot was published.
+	UpdatedAt time.Time
+	// jurors holds the pool members in insertion order.
+	jurors []PoolJuror
+	// sorted is the ε-ascending view selection reads. It is validated at
+	// ingest, so SelectAltruisticSnapshot runs without re-validation.
+	sorted []jury.Juror
+	// intervals caches the per-juror credible intervals GET responses
+	// report. They are a pure function of the immutable member list, so
+	// they are computed at most once per snapshot, on first use — the
+	// write path (PUT/PATCH) never pays for them, and repeated GETs
+	// reuse the slice.
+	intervalsOnce sync.Once
+	intervals     []RateInterval
+}
+
+// RateInterval bounds one juror's estimate uncertainty.
+type RateInterval struct{ Lo, Hi float64 }
+
+// CredibleIntervals returns the central 95% credible interval of each
+// member's Beta-posterior error rate, in insertion order. Safe for
+// concurrent use; the computation runs once per snapshot and costs
+// ~10 µs per juror (two safeguarded-Newton quantile inversions), so the
+// first full GET of a very large pool pays time comparable to encoding
+// its response JSON, and subsequent GETs pay nothing.
+func (p *Pool) CredibleIntervals() []RateInterval {
+	p.intervalsOnce.Do(func() {
+		out := make([]RateInterval, len(p.jurors))
+		for i, m := range p.jurors {
+			// The pair (posterior mean, prior weight + observed votes)
+			// determines the Beta posterior exactly; pool rates are
+			// validated in (0,1) at ingest, so this cannot fail.
+			lo, hi, err := estimate.CredibleInterval(m.ErrorRate,
+				estimate.DefaultPriorWeight+float64(m.TotalVotes), estimate.DefaultCredibleLevel)
+			if err == nil {
+				out[i] = RateInterval{Lo: lo, Hi: hi}
+			}
+		}
+		p.intervals = out
+	})
+	return p.intervals
+}
+
+// Size returns the number of jurors in the snapshot.
+func (p *Pool) Size() int { return len(p.jurors) }
+
+// Jurors returns the pool members in insertion order. The slice is shared
+// with the snapshot and must not be mutated.
+func (p *Pool) Jurors() []PoolJuror { return p.jurors }
+
+// Sorted returns the validated, ε-ascending candidate view. The slice is
+// shared with the snapshot and must not be mutated; it feeds
+// jury.Engine.SelectAltruisticSnapshot directly.
+func (p *Pool) Sorted() []jury.Juror { return p.sorted }
+
+// VoteObservation is a batch of observed voting outcomes for one juror:
+// Total tasks whose truth resolved, Wrong of them voted against it.
+type VoteObservation struct {
+	Wrong int64 `json:"wrong"`
+	Total int64 `json:"total"`
+}
+
+// JurorUpdate is one incremental change inside a Patch. Exactly one
+// interpretation applies, checked in this order:
+//
+//   - Remove drops the juror.
+//   - For an ID not in the pool, ErrorRate must be set; the juror is
+//     inserted (Cost defaults to 0).
+//   - ErrorRate, when set, replaces the rate and resets the voting
+//     record (the new rate is a fresh prior); Cost, when set, replaces
+//     the requirement.
+//   - Votes folds observed outcomes into the current rate via
+//     estimate.PosteriorRate, with the prior weighted by
+//     estimate.DefaultPriorWeight plus the record accumulated so far —
+//     so a long-observed juror's estimate is dominated by its record,
+//     and applying batches one at a time equals one concatenated batch.
+type JurorUpdate struct {
+	ID        string           `json:"id"`
+	ErrorRate *float64         `json:"error_rate,omitempty"`
+	Cost      *float64         `json:"cost,omitempty"`
+	Votes     *VoteObservation `json:"votes,omitempty"`
+	Remove    bool             `json:"remove,omitempty"`
+}
+
+// Store is a versioned directory of named juror pools with copy-on-write
+// snapshots. Reads (Get, List) are lock-free: they atomically load the
+// current directory pointer and index it, so the selection hot path never
+// contends with writers. Writes (Put, Patch, Delete) serialize on a
+// mutex, rebuild the affected pool, copy the directory, and publish it
+// with one atomic pointer swap.
+type Store struct {
+	mu  sync.Mutex // serializes writers
+	dir atomic.Pointer[map[string]*Pool]
+	// lastVersion is the per-name version high-water mark, retained
+	// across Delete so a re-created pool continues the sequence instead
+	// of restarting at 1 (guarded by mu).
+	lastVersion map[string]uint64
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	s := &Store{lastVersion: make(map[string]uint64)}
+	dir := make(map[string]*Pool)
+	s.dir.Store(&dir)
+	return s
+}
+
+// Get returns the current snapshot of the named pool. The returned Pool
+// is immutable; it stays consistent however long the caller holds it.
+func (s *Store) Get(name string) (*Pool, bool) {
+	p, ok := (*s.dir.Load())[name]
+	return p, ok
+}
+
+// List returns the current snapshot of every pool, sorted by name.
+func (s *Store) List() []*Pool {
+	dir := *s.dir.Load()
+	out := make([]*Pool, 0, len(dir))
+	for _, p := range dir {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
+// Len returns the number of pools.
+func (s *Store) Len() int { return len(*s.dir.Load()) }
+
+// Put replaces (or creates) the named pool with the given jurors,
+// validating every juror at ingest. Voting records start empty: a full
+// replacement is a fresh estimate of the whole crowd. The version
+// continues from the pool's previous snapshot.
+func (s *Store) Put(name string, jurors []jury.Juror) (*Pool, error) {
+	return s.PutAt(name, jurors, time.Now().UTC())
+}
+
+// PutAt is Put with an explicit publication time, the form WAL replay
+// uses to republish snapshots byte-identical to the original writes.
+func (s *Store) PutAt(name string, jurors []jury.Juror, at time.Time) (*Pool, error) {
+	if err := core.ValidateCandidates(jurors); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, len(jurors))
+	members := make([]PoolJuror, len(jurors))
+	for i, j := range jurors {
+		if _, dup := seen[j.ID]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateJuror, j.ID)
+		}
+		seen[j.ID] = struct{}{}
+		members[i] = PoolJuror{Juror: j}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publish(name, s.lastVersion[name]+1, members, at), nil
+}
+
+// Patch applies incremental updates to the named pool and publishes the
+// next version. The whole patch is atomic: any invalid update rejects the
+// patch and leaves the current snapshot in place.
+func (s *Store) Patch(name string, updates []JurorUpdate) (*Pool, error) {
+	return s.PatchAt(name, updates, time.Now().UTC())
+}
+
+// PatchAt is Patch with an explicit publication time (see PutAt).
+func (s *Store) PatchAt(name string, updates []JurorUpdate, at time.Time) (*Pool, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPoolNotFound, name)
+	}
+	// Copy-on-write: mutate a private copy, publish it only when every
+	// update validated.
+	members := append([]PoolJuror(nil), cur.jurors...)
+	index := make(map[string]int, len(members))
+	for i, m := range members {
+		index[m.ID] = i
+	}
+	for _, up := range updates {
+		i, exists := index[up.ID]
+		switch {
+		case up.Remove:
+			if !exists {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownJuror, up.ID)
+			}
+			members = append(members[:i], members[i+1:]...)
+			delete(index, up.ID)
+			for k := i; k < len(members); k++ {
+				index[members[k].ID] = k
+			}
+			continue
+		case !exists:
+			if up.ErrorRate == nil {
+				return nil, fmt.Errorf("%w: %q (set error_rate to insert)", ErrUnknownJuror, up.ID)
+			}
+			members = append(members, PoolJuror{Juror: jury.Juror{ID: up.ID}})
+			i = len(members) - 1
+			index[up.ID] = i
+		}
+		m := &members[i]
+		if up.ErrorRate != nil {
+			m.ErrorRate = *up.ErrorRate
+			m.WrongVotes, m.TotalVotes = 0, 0
+		}
+		if up.Cost != nil {
+			m.Cost = *up.Cost
+		}
+		if v := up.Votes; v != nil {
+			weight := estimate.DefaultPriorWeight + float64(m.TotalVotes)
+			rate, err := estimate.PosteriorRate(m.ErrorRate, weight, v.Wrong, v.Total)
+			if err != nil {
+				return nil, fmt.Errorf("pool: juror %q: %w", up.ID, err)
+			}
+			m.ErrorRate = rate
+			m.WrongVotes += v.Wrong
+			m.TotalVotes += v.Total
+		}
+		if err := m.Juror.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("pool: patch would empty pool %q: %w", name, core.ErrNoCandidates)
+	}
+	return s.publish(name, cur.Version+1, members, at), nil
+}
+
+// Delete removes the named pool. It reports whether the pool existed.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.dir.Load()
+	if _, ok := old[name]; !ok {
+		return false
+	}
+	next := make(map[string]*Pool, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	s.dir.Store(&next)
+	return true
+}
+
+// publish builds the immutable snapshot for members and swaps it into a
+// copied directory. Callers hold s.mu and have validated members.
+func (s *Store) publish(name string, version uint64, members []PoolJuror, at time.Time) *Pool {
+	cands := make([]jury.Juror, len(members))
+	for i, m := range members {
+		cands[i] = m.Juror
+	}
+	p := &Pool{
+		Name:      name,
+		Version:   version,
+		UpdatedAt: at,
+		jurors:    members,
+		sorted:    core.SortedByErrorRate(cands),
+	}
+	s.lastVersion[name] = version
+	old := *s.dir.Load()
+	next := make(map[string]*Pool, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = p
+	s.dir.Store(&next)
+	return p
+}
+
+// JurorState is the snapshot-serialization form of one pool member.
+type JurorState struct {
+	ID         string  `json:"id"`
+	ErrorRate  float64 `json:"error_rate"`
+	Cost       float64 `json:"cost,omitempty"`
+	WrongVotes int64   `json:"wrong_votes,omitempty"`
+	TotalVotes int64   `json:"total_votes,omitempty"`
+}
+
+// PoolState is the snapshot-serialization form of one pool.
+type PoolState struct {
+	Name      string       `json:"name"`
+	Version   uint64       `json:"version"`
+	UpdatedAt time.Time    `json:"updated_at"`
+	Jurors    []JurorState `json:"jurors"`
+}
+
+// State is the full serializable store state: every pool plus the
+// per-name version high-water marks (which survive pool deletion and so
+// are not derivable from the live pools alone).
+type State struct {
+	Pools []PoolState `json:"pools"`
+	// LastVersions carries the version floor of every name ever written,
+	// including deleted pools.
+	LastVersions map[string]uint64 `json:"last_versions,omitempty"`
+}
+
+// Export captures the complete store state for snapshotting. The result
+// is deterministic: pools sorted by name, members in insertion order.
+func (s *Store) Export() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pools := s.List()
+	st := State{Pools: make([]PoolState, len(pools))}
+	for i, p := range pools {
+		ps := PoolState{Name: p.Name, Version: p.Version, UpdatedAt: p.UpdatedAt,
+			Jurors: make([]JurorState, len(p.jurors))}
+		for k, m := range p.jurors {
+			ps.Jurors[k] = JurorState{ID: m.ID, ErrorRate: m.ErrorRate, Cost: m.Cost,
+				WrongVotes: m.WrongVotes, TotalVotes: m.TotalVotes}
+		}
+		st.Pools[i] = ps
+	}
+	if len(s.lastVersion) > 0 {
+		st.LastVersions = make(map[string]uint64, len(s.lastVersion))
+		for k, v := range s.lastVersion {
+			st.LastVersions[k] = v
+		}
+	}
+	return st
+}
+
+// Restore replaces the store contents with an exported state. Used once,
+// on recovery, before the store is shared; it validates every member the
+// same way the write path does.
+func (s *Store) Restore(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := make(map[string]*Pool, len(st.Pools))
+	last := make(map[string]uint64, len(st.LastVersions))
+	for k, v := range st.LastVersions {
+		last[k] = v
+	}
+	for _, ps := range st.Pools {
+		members := make([]PoolJuror, len(ps.Jurors))
+		cands := make([]jury.Juror, len(ps.Jurors))
+		for i, js := range ps.Jurors {
+			j := jury.Juror{ID: js.ID, ErrorRate: js.ErrorRate, Cost: js.Cost}
+			if err := j.Validate(); err != nil {
+				return fmt.Errorf("pool: restoring %q: %w", ps.Name, err)
+			}
+			members[i] = PoolJuror{Juror: j, WrongVotes: js.WrongVotes, TotalVotes: js.TotalVotes}
+			cands[i] = j
+		}
+		dir[ps.Name] = &Pool{
+			Name:      ps.Name,
+			Version:   ps.Version,
+			UpdatedAt: ps.UpdatedAt,
+			jurors:    members,
+			sorted:    core.SortedByErrorRate(cands),
+		}
+		if last[ps.Name] < ps.Version {
+			last[ps.Name] = ps.Version
+		}
+	}
+	s.lastVersion = last
+	s.dir.Store(&dir)
+	return nil
+}

@@ -7,19 +7,27 @@
 //
 // The pieces:
 //
-//   - poolstore.go: a versioned directory of juror pools with
-//     copy-on-write snapshots behind one atomic pointer, so selections
-//     read a consistent pool without taking locks on the hot path while
-//     PUT/PATCH writers publish new versions (observed votes re-estimate
-//     error rates via estimate.PosteriorRate).
+//   - poolstore.go: aliases to internal/pool — the versioned directory
+//     of juror pools with copy-on-write snapshots behind one atomic
+//     pointer, so selections read a consistent pool without taking locks
+//     on the hot path while PUT/PATCH writers publish new versions
+//     (observed votes re-estimate error rates via
+//     estimate.PosteriorRate).
 //   - server.go: the handlers (POST /v1/jer, POST /v1/select, pool CRUD
 //     under /v1/pools), bounded-queue admission with 429 load-shedding,
 //     and per-request deadlines propagated as context.
+//   - tasks.go: the decision-task lifecycle endpoints (POST /v1/tasks,
+//     GET /v1/tasks[/{id}], POST /v1/tasks/{id}/votes) fronting
+//     internal/tasks — the WAL-backed store with sequential early-stop
+//     voting and juror replacement. When a task store is configured,
+//     pool mutations are journaled through it so recovery replays pools
+//     and tasks together.
 //   - metrics.go: /healthz and /metrics (expvar counters: requests,
-//     shed, errors, plus the engine's evaluation/cache/inflight stats).
+//     shed, errors, the engine's evaluation/cache/inflight stats, and
+//     the task-store gauges + WAL counters).
 //
-// cmd/juryd wires the package to flags, initial pool files, and a
-// SIGTERM graceful drain.
+// cmd/juryd wires the package to flags, initial pool files, WAL
+// recovery, the juror-timeout sweeper, and a SIGTERM graceful drain.
 package server
 
 import (
@@ -149,7 +157,7 @@ func poolResponse(p *Pool, includeJurors bool) PoolResponse {
 		UpdatedAt: p.UpdatedAt.Format(time.RFC3339Nano),
 	}
 	if includeJurors {
-		intervals := p.credibleIntervals()
+		intervals := p.CredibleIntervals()
 		out.Jurors = make([]PoolJurorJSON, p.Size())
 		for i, m := range p.Jurors() {
 			out.Jurors[i] = PoolJurorJSON{

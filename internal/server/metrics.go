@@ -12,12 +12,15 @@ import (
 // serves them as one JSON document, folding in the engine's counters as
 // gauges at scrape time.
 type metrics struct {
-	requests   expvar.Int // HTTP requests accepted by any /v1 handler
-	selections expvar.Int // successful /v1/select responses
-	jerServed  expvar.Int // successful /v1/jer responses
-	poolWrites expvar.Int // successful pool PUT/PATCH/DELETE
-	shed       expvar.Int // requests rejected 429 by admission control
-	errors     expvar.Int // 5xx and 429 responses
+	requests     expvar.Int // HTTP requests accepted by any /v1 handler
+	selections   expvar.Int // successful /v1/select responses
+	jerServed    expvar.Int // successful /v1/jer responses
+	poolWrites   expvar.Int // successful pool PUT/PATCH/DELETE
+	taskCreates  expvar.Int // successful POST /v1/tasks
+	taskVotes    expvar.Int // successful votes/declines
+	taskVerdicts expvar.Int // votes that closed a task with a verdict
+	shed         expvar.Int // requests rejected 429 by admission control
+	errors       expvar.Int // 5xx and 429 responses
 
 	queued   atomic.Int64 // requests waiting for an inflight slot
 	draining atomic.Bool  // drain signal for /healthz
@@ -71,11 +74,53 @@ type metricsResponse struct {
 	EngineWorkers     int   `json:"engine_workers"`
 
 	Pools int `json:"pools"`
+
+	// Tasks reports the task-store gauges and WAL counters when the
+	// server fronts a task store; omitted otherwise.
+	Tasks *taskMetrics `json:"tasks,omitempty"`
+}
+
+// taskMetrics is the durable task subsystem's observability block: the
+// lifecycle gauges (how many tasks sit in each state) and the
+// write-ahead-log counters (append volume, group-commit fsync latency,
+// and what the last boot replayed).
+type taskMetrics struct {
+	Open          int   `json:"open"`
+	AwaitingVotes int   `json:"awaiting_votes"`
+	Decided       int   `json:"decided"`
+	Expired       int   `json:"expired"`
+	Creates       int64 `json:"creates"`
+	Votes         int64 `json:"votes"`
+	Verdicts      int64 `json:"verdicts"`
+
+	WALAppends       int64 `json:"wal_appends"`
+	WALFsyncs        int64 `json:"wal_fsyncs"`
+	WALFsyncP99NS    int64 `json:"wal_fsync_p99_ns"`
+	WALReplayRecords int64 `json:"wal_replay_records"`
+	WALCompactions   int64 `json:"wal_compactions"`
 }
 
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	var tm *taskMetrics
+	if s.tasks != nil {
+		ts := s.tasks.Stats()
+		tm = &taskMetrics{
+			Open:             ts.Open,
+			AwaitingVotes:    ts.AwaitingVotes,
+			Decided:          ts.Decided,
+			Expired:          ts.Expired,
+			Creates:          s.m.taskCreates.Value(),
+			Votes:            s.m.taskVotes.Value(),
+			Verdicts:         s.m.taskVerdicts.Value(),
+			WALAppends:       ts.WAL.Appends,
+			WALFsyncs:        ts.WAL.Fsyncs,
+			WALFsyncP99NS:    ts.WAL.FsyncP99NS,
+			WALReplayRecords: ts.WAL.ReplayRecords,
+			WALCompactions:   ts.Compactions,
+		}
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Requests:          s.m.requests.Value(),
 		Selections:        s.m.selections.Value(),
@@ -92,5 +137,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		EngineInflight:    st.Inflight,
 		EngineWorkers:     s.eng.Workers(),
 		Pools:             s.store.Len(),
+		Tasks:             tm,
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"juryselect/internal/core"
 	"juryselect/internal/dataio"
 	"juryselect/internal/pbdist"
+	"juryselect/internal/tasks"
 	"juryselect/jury"
 )
 
@@ -34,8 +35,14 @@ const (
 type Config struct {
 	// Engine is the shared JER engine; nil constructs a default one.
 	Engine *jury.Engine
-	// Store is the pool store; nil constructs an empty one.
+	// Store is the pool store; nil constructs an empty one. When Tasks
+	// is set this must be the task store's pool store (or nil, which
+	// adopts it automatically).
 	Store *Store
+	// Tasks is the durable decision-task store. When set, the /v1/tasks
+	// endpoints are served and every pool mutation is journaled through
+	// it, so a restarted juryd replays pools and tasks together.
+	Tasks *tasks.Store
 	// MaxInflight bounds concurrently executing evaluation requests
 	// (/v1/jer and /v1/select). Zero selects runtime.GOMAXPROCS(0):
 	// selection saturates a core, so admitting more in parallel only
@@ -62,6 +69,7 @@ type Config struct {
 type Server struct {
 	eng   *jury.Engine
 	store *Store
+	tasks *tasks.Store
 
 	maxInflight int
 	maxQueue    int
@@ -79,11 +87,23 @@ func New(cfg Config) *Server {
 	s := &Server{
 		eng:         cfg.Engine,
 		store:       cfg.Store,
+		tasks:       cfg.Tasks,
 		maxInflight: cfg.MaxInflight,
 		maxQueue:    cfg.MaxQueue,
 		defTimeout:  cfg.DefaultTimeout,
 		maxTimeout:  cfg.MaxTimeout,
 		maxBody:     cfg.MaxBodyBytes,
+	}
+	if s.tasks != nil {
+		// One pool directory and one engine serve selects and tasks: the
+		// task store's are authoritative so its journal covers every
+		// mutation the handlers apply.
+		if s.store == nil {
+			s.store = s.tasks.Pools()
+		}
+		if s.eng == nil {
+			s.eng = s.tasks.Engine()
+		}
 	}
 	if s.eng == nil {
 		s.eng = jury.NewEngine(jury.BatchOptions{})
@@ -118,6 +138,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/pools/{name}/jurors", s.counted(s.handlePoolPut))
 	s.mux.HandleFunc("PATCH /v1/pools/{name}/jurors", s.counted(s.handlePoolPatch))
 	s.mux.HandleFunc("DELETE /v1/pools/{name}", s.counted(s.handlePoolDelete))
+	s.mux.HandleFunc("POST /v1/tasks", s.counted(s.requireTasks(s.handleTaskCreate)))
+	s.mux.HandleFunc("GET /v1/tasks", s.counted(s.requireTasks(s.handleTaskList)))
+	s.mux.HandleFunc("GET /v1/tasks/{id}", s.counted(s.requireTasks(s.handleTaskGet)))
+	s.mux.HandleFunc("POST /v1/tasks/{id}/votes", s.counted(s.requireTasks(s.handleTaskVote)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -234,6 +258,13 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrUnknownJuror), errors.Is(err, ErrNoUpdates),
 		errors.Is(err, jury.ErrNoCandidates), errors.Is(err, jury.ErrEmptyJury),
 		errors.Is(err, pbdist.ErrRateOutOfRange):
+		status = http.StatusBadRequest
+	case errors.Is(err, tasks.ErrTaskNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, tasks.ErrTaskClosed), errors.Is(err, tasks.ErrAlreadyVoted),
+		errors.Is(err, tasks.ErrJurorReleased):
+		status = http.StatusConflict
+	case errors.Is(err, tasks.ErrNotInvited), errors.Is(err, tasks.ErrInvalidSpec):
 		status = http.StatusBadRequest
 	case errors.Is(err, jury.ErrNoFeasibleJury):
 		status = http.StatusUnprocessableEntity
@@ -426,7 +457,7 @@ func (s *Server) handlePoolPut(w http.ResponseWriter, r *http.Request) {
 	for i, j := range req.Jurors {
 		jurors[i] = j.Juror()
 	}
-	p, err := s.store.Put(name, jurors)
+	p, err := s.putPool(name, jurors)
 	if err != nil {
 		s.fail(w, badRequest("%v", err))
 		return
@@ -451,7 +482,7 @@ func (s *Server) handlePoolPatch(w http.ResponseWriter, r *http.Request) {
 			ups[i].Votes = &VoteObservation{Wrong: u.Votes.Wrong, Total: u.Votes.Total}
 		}
 	}
-	p, err := s.store.Patch(name, ups)
+	p, err := s.patchPool(name, ups)
 	if err != nil {
 		if errors.Is(err, ErrPoolNotFound) {
 			s.fail(w, err)
@@ -467,10 +498,40 @@ func (s *Server) handlePoolPatch(w http.ResponseWriter, r *http.Request) {
 // handlePoolDelete serves DELETE /v1/pools/{name}.
 func (s *Server) handlePoolDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.store.Delete(name) {
+	existed, err := s.deletePool(name)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !existed {
 		s.fail(w, fmt.Errorf("%w: %q", ErrPoolNotFound, name))
 		return
 	}
 	s.m.poolWrites.Add(1)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// putPool, patchPool and deletePool route pool mutations through the
+// task store's write-ahead log when one is configured — the durability
+// contract: every mutation a restarted juryd must replay goes through
+// one journal — and straight to the in-memory store otherwise.
+func (s *Server) putPool(name string, jurors []jury.Juror) (*Pool, error) {
+	if s.tasks != nil {
+		return s.tasks.PutPool(name, jurors)
+	}
+	return s.store.Put(name, jurors)
+}
+
+func (s *Server) patchPool(name string, ups []JurorUpdate) (*Pool, error) {
+	if s.tasks != nil {
+		return s.tasks.PatchPool(name, ups)
+	}
+	return s.store.Patch(name, ups)
+}
+
+func (s *Server) deletePool(name string) (bool, error) {
+	if s.tasks != nil {
+		return s.tasks.DeletePool(name)
+	}
+	return s.store.Delete(name), nil
 }

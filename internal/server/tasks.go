@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"juryselect/internal/tasks"
+)
+
+// TaskCreateRequest is the body of POST /v1/tasks: a decision-making
+// task posed to a jury selected from a live pool.
+type TaskCreateRequest struct {
+	// Pool names the juror pool to select from.
+	Pool string `json:"pool"`
+	// Question is the task's free-text payload (opaque to the service).
+	Question string `json:"question,omitempty"`
+	// Strategy is "altr" (default) or "pay".
+	Strategy string `json:"strategy,omitempty"`
+	// Budget is the pay model's budget B (pay strategy only).
+	Budget float64 `json:"budget,omitempty"`
+	// TargetConfidence closes the task early once the posterior verdict
+	// confidence crosses it, in (0.5, 1]. Exactly 1 disables early stop
+	// (fixed-jury voting); zero selects the server default (0.9).
+	TargetConfidence float64 `json:"target_confidence,omitempty"`
+	// MaxInvites caps total invitations including the initial jury
+	// (0 = twice the initial jury).
+	MaxInvites int `json:"max_invites,omitempty"`
+	// JurorTimeoutMS releases a non-responding juror after this long
+	// (0 = server default).
+	JurorTimeoutMS int64 `json:"juror_timeout_ms,omitempty"`
+	// ExpiresInMS closes the whole task without a verdict after this
+	// long (0 = server default).
+	ExpiresInMS int64 `json:"expires_in_ms,omitempty"`
+	// TimeoutMS optionally overrides the per-request deadline for the
+	// jury selection, clamped to the configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// TaskResponse wraps a task view: the body of POST /v1/tasks (201),
+// GET /v1/tasks/{id} and POST /v1/tasks/{id}/votes.
+type TaskResponse struct {
+	Task tasks.View `json:"task"`
+}
+
+// TaskListResponse is the body of GET /v1/tasks.
+type TaskListResponse struct {
+	Tasks []tasks.View `json:"tasks"`
+}
+
+// TaskVoteRequest is the body of POST /v1/tasks/{id}/votes: either a
+// vote or an explicit decline (which releases the juror and invites the
+// next-best replacement).
+type TaskVoteRequest struct {
+	JurorID string `json:"juror_id"`
+	Vote    *bool  `json:"vote,omitempty"`
+	Decline bool   `json:"decline,omitempty"`
+}
+
+// handleTaskCreate serves POST /v1/tasks: select a jury and open the
+// task. Selection is the expensive step, so creation passes through the
+// same admission control as /v1/select.
+func (s *Server) handleTaskCreate(w http.ResponseWriter, r *http.Request) {
+	var req TaskCreateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	d, err := s.deadline(req.TimeoutMS)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.JurorTimeoutMS < 0 || req.ExpiresInMS < 0 {
+		s.fail(w, badRequest("juror_timeout_ms and expires_in_ms must be non-negative"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+	view, err := s.tasks.Create(ctx, tasks.Spec{
+		Pool:             req.Pool,
+		Question:         req.Question,
+		Strategy:         req.Strategy,
+		Budget:           req.Budget,
+		TargetConfidence: req.TargetConfidence,
+		MaxInvites:       req.MaxInvites,
+		JurorTimeout:     time.Duration(req.JurorTimeoutMS) * time.Millisecond,
+		ExpiresIn:        time.Duration(req.ExpiresInMS) * time.Millisecond,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.taskCreates.Add(1)
+	writeJSON(w, http.StatusCreated, TaskResponse{Task: view})
+}
+
+// handleTaskList serves GET /v1/tasks[?status=...].
+func (s *Server) handleTaskList(w http.ResponseWriter, r *http.Request) {
+	status := tasks.Status(r.URL.Query().Get("status"))
+	switch status {
+	case "", tasks.StatusOpen, tasks.StatusAwaitingVotes, tasks.StatusDecided, tasks.StatusExpired:
+	default:
+		s.fail(w, badRequest("unknown status %q", status))
+		return
+	}
+	views := s.tasks.List(status)
+	writeJSON(w, http.StatusOK, TaskListResponse{Tasks: views})
+}
+
+// handleTaskGet serves GET /v1/tasks/{id}.
+func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.tasks.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TaskResponse{Task: view})
+}
+
+// handleTaskVote serves POST /v1/tasks/{id}/votes: one juror's vote (or
+// decline) applied to the posterior, returning the updated task — which
+// may have just decided (sequential early stop) or invited a
+// replacement. O(1) per call, so it bypasses evaluation admission.
+func (s *Server) handleTaskVote(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req TaskVoteRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.JurorID == "" {
+		s.fail(w, badRequest("juror_id must be set"))
+		return
+	}
+	var (
+		view tasks.View
+		err  error
+	)
+	switch {
+	case req.Decline && req.Vote != nil:
+		s.fail(w, badRequest("vote and decline are mutually exclusive"))
+		return
+	case req.Decline:
+		view, err = s.tasks.Decline(id, req.JurorID)
+	case req.Vote != nil:
+		view, err = s.tasks.Vote(id, req.JurorID, *req.Vote)
+	default:
+		s.fail(w, badRequest("body must carry vote or decline"))
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.taskVotes.Add(1)
+	if view.Status == tasks.StatusDecided && view.Verdict != nil {
+		s.m.taskVerdicts.Add(1)
+	}
+	writeJSON(w, http.StatusOK, TaskResponse{Task: view})
+}
+
+// requireTasks guards the task routes when the server was built without
+// a task store.
+func (s *Server) requireTasks(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.tasks == nil {
+			s.fail(w, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("%s: task store not configured", r.URL.Path)})
+			return
+		}
+		h(w, r)
+	}
+}

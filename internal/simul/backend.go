@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"juryselect/internal/server"
+	"juryselect/internal/tasks"
 	"juryselect/jury"
 )
 
@@ -37,6 +38,66 @@ type selectOutcome struct {
 // aborts the run.
 var errStepShed = errors.New("simul: selection shed by admission control")
 
+// invitee is one invited juror as the task lifecycle sees it: the ID to
+// drive votes with and the estimated rate the posterior weighs.
+type invitee struct {
+	ID   string
+	Rate float64
+}
+
+// taskOutcome is a created decision task.
+type taskOutcome struct {
+	ID string
+	// Invited is the initial jury in invitation order.
+	Invited []invitee
+	// PredictedJER and Cost describe the initial selection.
+	PredictedJER float64
+	Cost         float64
+	// PoolVersion is the snapshot the jury was selected from.
+	PoolVersion uint64
+	// Retried and LatencyNS mirror selectOutcome (HTTP backend only).
+	Retried   int
+	LatencyNS int64
+}
+
+// taskProgress is the task state after one vote or decline.
+type taskProgress struct {
+	// Closed reports a terminal status; Decided distinguishes a verdict
+	// from an undecided expiry.
+	Closed  bool
+	Decided bool
+	// VerdictYes and Confidence describe the verdict when Decided.
+	VerdictYes   bool
+	Confidence   float64
+	EarlyStopped bool
+	VotesSpent   int
+	Declines     int
+	// Invited is the full invitation list in order — it grows when a
+	// decline pulled in a replacement; the caller feeds the new tail
+	// into its vote queue.
+	Invited []invitee
+}
+
+// progressFromView flattens a task view into the backend-neutral shape.
+func progressFromView(v tasks.View) taskProgress {
+	p := taskProgress{
+		Closed:     v.Status == tasks.StatusDecided || v.Status == tasks.StatusExpired,
+		Decided:    v.Status == tasks.StatusDecided,
+		VotesSpent: v.VotesSpent,
+		Declines:   v.Declines,
+		Invited:    make([]invitee, len(v.Jurors)),
+	}
+	for i, j := range v.Jurors {
+		p.Invited[i] = invitee{ID: j.ID, Rate: j.ErrorRate}
+	}
+	if v.Verdict != nil {
+		p.VerdictYes = v.Verdict.Answer
+		p.Confidence = v.Verdict.Confidence
+		p.EarlyStopped = v.Verdict.EarlyStopped
+	}
+	return p
+}
+
 // backend is the system under test: the live juror-pool plus selection
 // service the closed loop drives. The local backend embeds the service's
 // own store and engine in-process; the HTTP backend speaks the juryd wire
@@ -51,6 +112,15 @@ type backend interface {
 	// scenario's strategy. Returns errStepShed when admission control
 	// rejected the request past the retry budget.
 	Select(ctx context.Context, name string, sc Scenario) (selectOutcome, error)
+	// CreateTask opens a decision task on the named pool (task
+	// lifecycle). Returns errStepShed like Select.
+	CreateTask(ctx context.Context, name string, sc Scenario) (taskOutcome, error)
+	// TaskVote records one juror's vote on an open task.
+	TaskVote(ctx context.Context, id, juror string, voteYes bool) (taskProgress, error)
+	// TaskDecline releases a non-responding juror (the simulator's
+	// deterministic stand-in for a wall-clock timeout), pulling in the
+	// next-best replacement.
+	TaskDecline(ctx context.Context, id, juror string) (taskProgress, error)
 	// DeletePool drops the pool (end-of-replication cleanup).
 	DeletePool(ctx context.Context, name string) error
 	// Close releases client resources.
@@ -58,11 +128,14 @@ type backend interface {
 }
 
 // localBackend runs the service stack in-process: the same versioned
-// copy-on-write pool store and shared JER engine juryd serves from, minus
-// HTTP. Its Select mirrors internal/server.handleSelect's dispatch
-// exactly, so a scenario replayed over HTTP selects identical juries.
+// copy-on-write pool store, memory-mode task store and shared JER
+// engine juryd serves from, minus HTTP. Its Select mirrors
+// internal/server.handleSelect's dispatch exactly, and its task ops are
+// the very store methods the /v1/tasks handlers call, so a scenario
+// replayed over HTTP walks an identical trajectory.
 type localBackend struct {
 	store *server.Store
+	tasks *tasks.Store
 	eng   *jury.Engine
 }
 
@@ -70,17 +143,62 @@ type localBackend struct {
 // engine is shared across replications (it is safe for concurrent use and
 // its memo accelerates repeated JER work).
 func newLocalBackend(eng *jury.Engine) *localBackend {
-	return &localBackend{store: server.NewStore(), eng: eng}
+	ts, err := tasks.Open(tasks.Config{Engine: eng})
+	if err != nil {
+		// Memory-mode Open touches no disk; it cannot fail today. Guard
+		// anyway so a future failure mode is loud.
+		panic(fmt.Sprintf("simul: opening memory task store: %v", err))
+	}
+	return &localBackend{store: ts.Pools(), tasks: ts, eng: eng}
 }
 
 func (lb *localBackend) PutPool(_ context.Context, name string, jurors []jury.Juror) error {
-	_, err := lb.store.Put(name, jurors)
+	_, err := lb.tasks.PutPool(name, jurors)
 	return err
 }
 
 func (lb *localBackend) Patch(_ context.Context, name string, ups []server.JurorUpdate) error {
-	_, err := lb.store.Patch(name, ups)
+	_, err := lb.tasks.PatchPool(name, ups)
 	return err
+}
+
+func (lb *localBackend) CreateTask(ctx context.Context, name string, sc Scenario) (taskOutcome, error) {
+	view, err := lb.tasks.Create(ctx, tasks.Spec{
+		Pool:             name,
+		Strategy:         sc.Strategy,
+		Budget:           sc.Budget,
+		TargetConfidence: sc.TargetConfidence,
+	})
+	if err != nil {
+		return taskOutcome{}, err
+	}
+	out := taskOutcome{
+		ID:           view.ID,
+		Invited:      make([]invitee, len(view.Jurors)),
+		PredictedJER: view.PredictedJER,
+		PoolVersion:  view.PoolVersion,
+	}
+	for i, j := range view.Jurors {
+		out.Invited[i] = invitee{ID: j.ID, Rate: j.ErrorRate}
+		out.Cost += j.Cost
+	}
+	return out, nil
+}
+
+func (lb *localBackend) TaskVote(_ context.Context, id, juror string, voteYes bool) (taskProgress, error) {
+	view, err := lb.tasks.Vote(id, juror, voteYes)
+	if err != nil {
+		return taskProgress{}, err
+	}
+	return progressFromView(view), nil
+}
+
+func (lb *localBackend) TaskDecline(_ context.Context, id, juror string) (taskProgress, error) {
+	view, err := lb.tasks.Decline(id, juror)
+	if err != nil {
+		return taskProgress{}, err
+	}
+	return progressFromView(view), nil
 }
 
 func (lb *localBackend) Select(ctx context.Context, name string, sc Scenario) (selectOutcome, error) {
@@ -111,8 +229,8 @@ func (lb *localBackend) Select(ctx context.Context, name string, sc Scenario) (s
 }
 
 func (lb *localBackend) DeletePool(_ context.Context, name string) error {
-	lb.store.Delete(name)
-	return nil
+	_, err := lb.tasks.DeletePool(name)
+	return err
 }
 
 func (lb *localBackend) Close() error { return nil }

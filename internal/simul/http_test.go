@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"juryselect/internal/server"
+	"juryselect/internal/tasks"
 	"juryselect/jury"
 )
 
@@ -22,6 +23,17 @@ func newJuryd(t testing.TB, cfg server.Config) *httptest.Server {
 	ts := httptest.NewServer(server.New(cfg).Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// newTaskJuryd boots an httptest juryd fronting a memory-mode task
+// store, the server shape the task-lifecycle scenarios require.
+func newTaskJuryd(t testing.TB) *httptest.Server {
+	t.Helper()
+	store, err := tasks.Open(tasks.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newJuryd(t, server.Config{Tasks: store})
 }
 
 // TestHTTPMatchesInProcess is the closed-loop parity contract: the same
@@ -67,6 +79,55 @@ func TestHTTPMatchesInProcess(t *testing.T) {
 					lr.MeanCalibration != rr.MeanCalibration || lr.TotalSpend != rr.TotalSpend ||
 					lr.FinalPoolVersion != rr.FinalPoolVersion {
 					t.Fatalf("rep %d: aggregates diverge:\nlocal  %+v\nremote %+v", i, lr, rr)
+				}
+			}
+		})
+	}
+}
+
+// TestTaskLifecycleHTTPMatchesInProcess extends the parity contract to
+// the durable task subsystem: create → sequential votes/declines →
+// verdict over the wire must walk the same per-step trajectory — votes
+// spent, declines, replacements, early stops — as the in-process task
+// store, because both expose identical invitation orders and the
+// simulator draws its randomness lazily in that order.
+func TestTaskLifecycleHTTPMatchesInProcess(t *testing.T) {
+	scenarios := []Scenario{
+		{Name: "task-parity", Seed: 41, Steps: 25, Population: 14, Replications: 2,
+			Lifecycle: LifecycleTask, Availability: 0.75},
+		{Name: "task-parity-fixed", Seed: 41, Steps: 15, Population: 14, Replications: 1,
+			Lifecycle: LifecycleTask, TargetConfidence: 1, Availability: 0.9,
+			Drift: DriftSpec{Model: DriftWalk, Sigma: 0.02}, ChurnPerStep: 0.5},
+		{Name: "task-parity-pay", Seed: 41, Steps: 15, Population: 14, Replications: 1,
+			Lifecycle: LifecycleTask, Strategy: StrategyPay, Budget: 1.5, Availability: 0.8},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			local, err := Run(context.Background(), sc, Options{Mode: ModeInProcess, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := newTaskJuryd(t)
+			remote, err := Run(context.Background(), sc, Options{
+				Mode: ModeHTTP, Addr: ts.URL, Client: ts.Client(), Trace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if remote.Summary.TotalShed != 0 {
+				t.Fatalf("unloaded juryd shed %d requests", remote.Summary.TotalShed)
+			}
+			for i := range local.Replications {
+				lr, rr := local.Replications[i], remote.Replications[i]
+				if !reflect.DeepEqual(lr.Trace, rr.Trace) {
+					t.Fatalf("rep %d: task traces diverge between modes", i)
+				}
+				if lr.TotalVotes != rr.TotalVotes || lr.TotalDeclines != rr.TotalDeclines ||
+					lr.Replacements != rr.Replacements || lr.EarlyStopped != rr.EarlyStopped ||
+					lr.Accuracy != rr.Accuracy {
+					t.Fatalf("rep %d: task aggregates diverge:\nlocal  %+v\nremote %+v", i, lr, rr)
 				}
 			}
 		})

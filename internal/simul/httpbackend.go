@@ -186,6 +186,71 @@ func (hb *httpBackend) Select(ctx context.Context, name string, sc Scenario) (se
 	}
 }
 
+func (hb *httpBackend) CreateTask(ctx context.Context, name string, sc Scenario) (taskOutcome, error) {
+	req := server.TaskCreateRequest{
+		Pool:             name,
+		Strategy:         sc.Strategy,
+		Budget:           sc.Budget,
+		TargetConfidence: sc.TargetConfidence,
+	}
+	var retried int
+	for attempt := 0; ; attempt++ {
+		var resp server.TaskResponse
+		start := time.Now()
+		_, err := hb.doJSON(ctx, http.MethodPost, "/v1/tasks", req, &resp, http.StatusCreated)
+		latency := time.Since(start).Nanoseconds()
+		if err == nil {
+			out := taskOutcome{
+				ID:           resp.Task.ID,
+				Invited:      make([]invitee, len(resp.Task.Jurors)),
+				PredictedJER: resp.Task.PredictedJER,
+				PoolVersion:  resp.Task.PoolVersion,
+				Retried:      retried,
+				LatencyNS:    latency,
+			}
+			for i, j := range resp.Task.Jurors {
+				out.Invited[i] = invitee{ID: j.ID, Rate: j.ErrorRate}
+				out.Cost += j.Cost
+			}
+			return out, nil
+		}
+		ra, shed := err.(retryAfterError)
+		if !shed {
+			return taskOutcome{}, err
+		}
+		retried++
+		if attempt >= hb.maxShedRetries {
+			return taskOutcome{Retried: retried, LatencyNS: latency}, errStepShed
+		}
+		select {
+		case <-time.After(ra.delay):
+		case <-ctx.Done():
+			return taskOutcome{}, ctx.Err()
+		}
+	}
+}
+
+func (hb *httpBackend) TaskVote(ctx context.Context, id, juror string, voteYes bool) (taskProgress, error) {
+	v := voteYes
+	var resp server.TaskResponse
+	_, err := hb.doJSON(ctx, http.MethodPost, "/v1/tasks/"+id+"/votes",
+		server.TaskVoteRequest{JurorID: juror, Vote: &v}, &resp, http.StatusOK)
+	if err != nil {
+		return taskProgress{}, err
+	}
+	return progressFromView(resp.Task), nil
+}
+
+func (hb *httpBackend) TaskDecline(ctx context.Context, id, juror string) (taskProgress, error) {
+	var resp server.TaskResponse
+	_, err := hb.doJSON(ctx, http.MethodPost, "/v1/tasks/"+id+"/votes",
+		server.TaskVoteRequest{JurorID: juror, Decline: true}, &resp, http.StatusOK)
+	if err != nil {
+		return taskProgress{}, err
+	}
+	return progressFromView(resp.Task), nil
+}
+
 func (hb *httpBackend) DeletePool(ctx context.Context, name string) error {
 	code, err := hb.doJSON(ctx, http.MethodDelete, "/v1/pools/"+name, nil, nil, http.StatusNoContent)
 	if code == http.StatusNotFound {

@@ -25,6 +25,14 @@ type StepRecord struct {
 	Regret       float64 `json:"regret"`
 	Calibration  float64 `json:"calibration"`
 	Spend        float64 `json:"spend"`
+	// Task-lifecycle fields (zero in select mode): how many votes the
+	// sequential protocol actually paid for, how many invitees declined
+	// (and were replaced), and whether/how confidently the task closed
+	// before exhausting its jury.
+	VotesSpent   int     `json:"votes_spent,omitempty"`
+	Declines     int     `json:"declines,omitempty"`
+	EarlyStopped bool    `json:"early_stopped,omitempty"`
+	Confidence   float64 `json:"confidence,omitempty"`
 }
 
 // Window aggregates a contiguous run of steps: the unit of the
@@ -106,6 +114,15 @@ type RepResult struct {
 	MeanCalibration float64 `json:"mean_calibration"`
 	MeanJurySize    float64 `json:"mean_jury_size"`
 	TotalSpend      float64 `json:"total_spend"`
+	// Task-lifecycle tallies (omitted in select mode): votes actually
+	// collected, invitations declined, replacement jurors pulled in,
+	// tasks closed by sequential early stop, and the mean votes one
+	// verdict cost — the pay-as-you-go headline number.
+	TotalVotes     int     `json:"total_votes,omitempty"`
+	TotalDeclines  int     `json:"total_declines,omitempty"`
+	Replacements   int     `json:"replacements,omitempty"`
+	EarlyStopped   int     `json:"early_stopped,omitempty"`
+	MeanVotesSpent float64 `json:"mean_votes_spent,omitempty"`
 	// FinalPoolVersion is the backend pool version after the last step —
 	// the number of published pool snapshots the run produced.
 	FinalPoolVersion uint64          `json:"final_pool_version,omitempty"`
@@ -131,6 +148,12 @@ type Summary struct {
 	TotalRetries        int     `json:"total_retries,omitempty"`
 	// ShedRate is shed steps over all steps in all replications.
 	ShedRate float64 `json:"shed_rate"`
+	// MeanVotesSpent and EarlyStopRate summarise the task lifecycle
+	// (omitted in select mode): average votes per attempted task across
+	// replications, and the fraction of decided tasks that closed before
+	// exhausting their jury.
+	MeanVotesSpent float64 `json:"mean_votes_spent,omitempty"`
+	EarlyStopRate  float64 `json:"early_stop_rate,omitempty"`
 }
 
 // Report is the complete metrics document a run produces. In in-process
@@ -163,12 +186,17 @@ func summarize(sc Scenario, reps []RepResult) Summary {
 		return s
 	}
 	var windows int
+	var totalVotes, earlyStopped, decidedTasks, attempted int
 	for _, r := range reps {
 		s.Accuracy += r.Accuracy
 		s.MeanRegret += r.MeanRegret
 		s.MeanCalibration += r.MeanCalibration
 		s.TotalShed += r.Shed
 		s.TotalRetries += r.Retries
+		totalVotes += r.TotalVotes
+		earlyStopped += r.EarlyStopped
+		decidedTasks += r.Decided
+		attempted += r.Steps - r.Shed
 		if len(r.Windows) > windows {
 			windows = len(r.Windows)
 		}
@@ -178,6 +206,12 @@ func summarize(sc Scenario, reps []RepResult) Summary {
 	s.MeanRegret /= n
 	s.MeanCalibration /= n
 	s.ShedRate = float64(s.TotalShed) / (n * float64(sc.Steps))
+	if totalVotes > 0 && attempted > 0 {
+		s.MeanVotesSpent = float64(totalVotes) / float64(attempted)
+	}
+	if earlyStopped > 0 && decidedTasks > 0 {
+		s.EarlyStopRate = float64(earlyStopped) / float64(decidedTasks)
+	}
 
 	s.WindowAccuracy = make([]float64, windows)
 	counts := make([]int, windows)

@@ -63,6 +63,20 @@ const (
 	SourceMicroblog = "microblog" // §4 pipeline over a synthetic retweet corpus
 )
 
+// Lifecycle names accepted by Scenario.Lifecycle.
+const (
+	// LifecycleSelect (the default) is the PR-4 loop: one stateless
+	// /v1/select per question, all selected jurors vote at once.
+	LifecycleSelect = "select"
+	// LifecycleTask drives the durable decision-task subsystem: per
+	// question a task is created (POST /v1/tasks), invited jurors vote
+	// or decline one at a time (availability draws decide which),
+	// non-responders are replaced by the next-best candidate, and the
+	// task closes by sequential early stop — or when the jury is
+	// exhausted.
+	LifecycleTask = "task"
+)
+
 // Drift model names accepted by DriftSpec.Model.
 const (
 	DriftStatic = "static" // frozen ground truth
@@ -144,6 +158,15 @@ type Scenario struct {
 	// (odd; default 5).
 	FixedSize int `json:"fixed_size,omitempty"`
 
+	// Lifecycle picks the serving path per question: select (default,
+	// one-shot selection) or task (the durable task store's sequential
+	// voting with early stop and juror replacement).
+	Lifecycle string `json:"lifecycle,omitempty"`
+	// TargetConfidence is the task lifecycle's early-stop threshold in
+	// (0.5, 1]; exactly 1 disables early stop (fixed-jury voting).
+	// Default 0.9.
+	TargetConfidence float64 `json:"target_confidence,omitempty"`
+
 	// Estimator picks the estimation policy (default posterior).
 	Estimator string `json:"estimator,omitempty"`
 	// PriorRate is the initial ε estimate assigned to every juror under
@@ -213,6 +236,12 @@ func (sc Scenario) Normalize() Scenario {
 	}
 	if sc.FixedSize == 0 {
 		sc.FixedSize = 5
+	}
+	if sc.Lifecycle == "" {
+		sc.Lifecycle = LifecycleSelect
+	}
+	if sc.TargetConfidence == 0 {
+		sc.TargetConfidence = 0.9
 	}
 	if sc.Estimator == "" {
 		sc.Estimator = EstimatorPosterior
@@ -290,6 +319,19 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.FixedSize <= 0 || sc.FixedSize%2 == 0 || sc.FixedSize > sc.Population {
 		return fmt.Errorf("simul: fixed_size %d must be odd and within the population", sc.FixedSize)
+	}
+	switch sc.Lifecycle {
+	case LifecycleSelect:
+	case LifecycleTask:
+		if sc.Strategy != StrategyAltr && sc.Strategy != StrategyPay {
+			return fmt.Errorf("simul: task lifecycle supports strategies %s and %s, not %q",
+				StrategyAltr, StrategyPay, sc.Strategy)
+		}
+	default:
+		return fmt.Errorf("simul: unknown lifecycle %q (want %s or %s)", sc.Lifecycle, LifecycleSelect, LifecycleTask)
+	}
+	if bad(sc.TargetConfidence) || sc.TargetConfidence <= 0.5 || sc.TargetConfidence > 1 {
+		return fmt.Errorf("simul: target_confidence %g outside (0.5, 1]", sc.TargetConfidence)
 	}
 	switch sc.Estimator {
 	case EstimatorOracle, EstimatorPosterior, EstimatorEM:
@@ -381,6 +423,23 @@ func Presets() map[string]Scenario {
 			RateMean: 0.4, RateStddev: 0.1,
 			ChurnPerStep: 0.5,
 			Drift:        DriftSpec{Model: DriftWalk},
+			Replications: 2,
+		},
+		// The decision-task lifecycle: sequential early-stop voting with
+		// 80% juror availability, so declines and next-best replacement
+		// are exercised on most tasks.
+		"task": {
+			Name: "task", Seed: 1, Steps: 400, Population: 60,
+			RateMean: 0.4, RateStddev: 0.1,
+			Availability: 0.8,
+			Lifecycle:    LifecycleTask, TargetConfidence: 0.9,
+			Replications: 4,
+		},
+		"task-smoke": {
+			Name: "task-smoke", Seed: 1, Steps: 40, Population: 15,
+			RateMean: 0.4, RateStddev: 0.1,
+			Availability: 0.7,
+			Lifecycle:    LifecycleTask, TargetConfidence: 0.9,
 			Replications: 2,
 		},
 	}

@@ -22,6 +22,9 @@ import (
 // HTTP backends walk identical trajectories until the first shed
 // request.
 func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *jury.Engine, trace bool) (RepResult, error) {
+	if sc.Lifecycle == LifecycleTask {
+		return runTaskReplication(ctx, sc, rep, be, eng, trace)
+	}
 	w, err := newWorld(sc, rep)
 	if err != nil {
 		return RepResult{}, err

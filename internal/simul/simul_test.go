@@ -33,6 +33,12 @@ func tinyScenarios() []Scenario {
 			Estimator: EstimatorEM, EMEvery: 10},
 		{Name: "microblog-src", Seed: 7, Steps: 20, Population: 40, Replications: 1,
 			Source: SourceMicroblog},
+		{Name: "task-early-stop", Seed: 7, Steps: 25, Population: 12, Replications: 2,
+			Lifecycle: LifecycleTask, Availability: 0.7},
+		{Name: "task-fixed-jury", Seed: 7, Steps: 25, Population: 12, Replications: 2,
+			Lifecycle: LifecycleTask, TargetConfidence: 1},
+		{Name: "task-pay", Seed: 7, Steps: 20, Population: 12, Replications: 2,
+			Lifecycle: LifecycleTask, Strategy: StrategyPay, Budget: 1.2, Availability: 0.8},
 	}
 }
 
@@ -89,6 +95,89 @@ func clip(b []byte) []byte {
 		return b[:2000]
 	}
 	return b
+}
+
+// TestTaskEarlyStopSpendsFewerVotes is the pay-as-you-go claim taken
+// online: at the same scenario, sequential early stop (target 0.9)
+// must spend meaningfully fewer votes per verdict than fixed-jury
+// voting (target 1) while staying within a few accuracy points of it —
+// and the availability gap must actually exercise decline/replacement.
+func TestTaskEarlyStopSpendsFewerVotes(t *testing.T) {
+	base := Scenario{Name: "spend", Seed: 11, Steps: 120, Population: 30,
+		RateMean: 0.4, RateStddev: 0.1, Availability: 0.8,
+		Lifecycle: LifecycleTask, Replications: 2}
+	run := func(target float64) *Report {
+		sc := base
+		sc.TargetConfidence = target
+		rep, err := Run(context.Background(), sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	early, fixed := run(0.9), run(1)
+	if early.Summary.MeanVotesSpent <= 0 || fixed.Summary.MeanVotesSpent <= 0 {
+		t.Fatalf("vote accounting missing: early %g fixed %g",
+			early.Summary.MeanVotesSpent, fixed.Summary.MeanVotesSpent)
+	}
+	if early.Summary.MeanVotesSpent >= fixed.Summary.MeanVotesSpent {
+		t.Fatalf("early stop spent %.2f votes/task, fixed jury %.2f — no saving",
+			early.Summary.MeanVotesSpent, fixed.Summary.MeanVotesSpent)
+	}
+	if early.Summary.EarlyStopRate == 0 {
+		t.Fatal("no task ever early-stopped at target 0.9")
+	}
+	if fixed.Summary.EarlyStopRate != 0 {
+		t.Fatalf("fixed-jury run early-stopped with rate %g", fixed.Summary.EarlyStopRate)
+	}
+	if diff := fixed.Summary.Accuracy - early.Summary.Accuracy; diff > 0.1 {
+		t.Fatalf("early stop gave up %.3f accuracy (early %.3f vs fixed %.3f)",
+			diff, early.Summary.Accuracy, fixed.Summary.Accuracy)
+	}
+	// 20% no-shows must surface as declines and replacements.
+	var declines, replacements int
+	for _, r := range early.Replications {
+		declines += r.TotalDeclines
+		replacements += r.Replacements
+	}
+	if declines == 0 || replacements == 0 {
+		t.Fatalf("availability 0.8 produced %d declines, %d replacements", declines, replacements)
+	}
+	t.Logf("votes/task: early-stop %.2f vs fixed %.2f (accuracy %.3f vs %.3f, early-stop rate %.2f)",
+		early.Summary.MeanVotesSpent, fixed.Summary.MeanVotesSpent,
+		early.Summary.Accuracy, fixed.Summary.Accuracy, early.Summary.EarlyStopRate)
+}
+
+// TestTaskStepAccounting: the task lifecycle preserves the partition
+// invariants and emits the task-specific trace fields.
+func TestTaskStepAccounting(t *testing.T) {
+	sc := Scenario{Name: "task-acct", Seed: 23, Steps: 40, Population: 14,
+		Lifecycle: LifecycleTask, Availability: 0.7, Replications: 2}
+	rep, err := Run(context.Background(), sc, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Replications {
+		if r.Decided+r.Undecided+r.Shed != r.Steps {
+			t.Fatalf("rep %d: partition broken: %+v", r.Replication, r)
+		}
+		var votes int
+		for _, s := range r.Trace {
+			if s.Shed {
+				continue
+			}
+			if s.VotesSpent < 0 || s.VotesSpent > s.JurySize+s.Declines {
+				t.Fatalf("step %d: votes %d outside [0, %d]", s.Step, s.VotesSpent, s.JurySize+s.Declines)
+			}
+			if s.Decided && s.Confidence < 0.5 {
+				t.Fatalf("step %d: decided with confidence %g", s.Step, s.Confidence)
+			}
+			votes += s.VotesSpent
+		}
+		if votes != r.TotalVotes {
+			t.Fatalf("rep %d: trace votes %d != total %d", r.Replication, votes, r.TotalVotes)
+		}
+	}
 }
 
 // TestStepAccounting: the per-replication partition invariants hold.

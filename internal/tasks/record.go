@@ -1,0 +1,77 @@
+package tasks
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"juryselect/internal/pool"
+)
+
+// WAL record types. Every record is a mutation that already passed
+// validation: replay applies records mechanically and deterministically.
+// Decisions driven by wall-clock time (a juror timing out, a task
+// expiring) are journaled as their own records, so replay never
+// re-consults a clock — the property behind byte-identical recovery.
+const (
+	recPoolPut    = "pool_put"
+	recPoolPatch  = "pool_patch"
+	recPoolDelete = "pool_delete"
+	recTaskCreate = "task_create"
+	recVote       = "vote"
+	recDecline    = "decline"
+	recExpire     = "expire"
+)
+
+// recJuror is the journaled form of one selected juror: the estimate and
+// cost selection saw, pinned so replay does not depend on later pool
+// drift.
+type recJuror struct {
+	ID        string  `json:"id"`
+	ErrorRate float64 `json:"rate"`
+	Cost      float64 `json:"cost,omitempty"`
+}
+
+// record is one WAL entry. A single struct with omitempty fields keeps
+// the framing simple and the log greppable; Type discriminates.
+type record struct {
+	Type string    `json:"t"`
+	At   time.Time `json:"at,omitzero"`
+
+	// Pool mutations.
+	Pool    string             `json:"pool,omitempty"`
+	Jurors  []pool.JurorState  `json:"jurors,omitempty"`
+	Updates []pool.JurorUpdate `json:"updates,omitempty"`
+
+	// Task mutations.
+	Task         string     `json:"task,omitempty"`
+	Seq          uint64     `json:"seq,omitempty"`
+	Spec         *Spec      `json:"spec,omitempty"`
+	Jury         []recJuror `json:"jury,omitempty"`
+	PoolVersion  uint64     `json:"pool_version,omitempty"`
+	PredictedJER float64    `json:"predicted_jer,omitempty"`
+	Juror        string     `json:"juror,omitempty"`
+	Vote         *bool      `json:"vote,omitempty"`
+	Timeout      bool       `json:"timeout,omitempty"`
+}
+
+// encodeRecord marshals a record for the WAL.
+func encodeRecord(rec record) ([]byte, error) {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("tasks: encoding %s record: %w", rec.Type, err)
+	}
+	return raw, nil
+}
+
+// decodeRecord unmarshals one WAL payload.
+func decodeRecord(payload []byte) (record, error) {
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("tasks: decoding wal record: %w", err)
+	}
+	if rec.Type == "" {
+		return rec, fmt.Errorf("tasks: wal record missing type")
+	}
+	return rec, nil
+}

@@ -1,0 +1,855 @@
+package tasks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"juryselect/internal/estimate"
+	"juryselect/internal/pool"
+	"juryselect/jury"
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultJurorTimeout releases an invited juror who has not answered.
+	DefaultJurorTimeout = 60 * time.Second
+	// DefaultExpiry closes a task that never reached a verdict.
+	DefaultExpiry = time.Hour
+	// DefaultCompactEvery is the number of WAL records between automatic
+	// snapshot compactions.
+	DefaultCompactEvery = 8192
+)
+
+// ErrStoreFailed reports that a previous journal write failed: the
+// in-memory state may be ahead of the log, so further mutations are
+// refused until the process restarts and replays.
+var ErrStoreFailed = errors.New("tasks: store failed (journal write error)")
+
+// Config configures Open. The zero value of every field selects a
+// sensible default; an empty Dir selects a memory-only store (no
+// durability — tests, simulations and ephemeral deployments).
+type Config struct {
+	// Dir is the WAL directory ("" = memory-only).
+	Dir string
+	// Sync is the WAL durability mode (default SyncBatch).
+	Sync SyncMode
+	// BatchInterval is the SyncBatch group-commit window.
+	BatchInterval time.Duration
+	// Engine is the shared JER engine; nil constructs a default one.
+	Engine *jury.Engine
+	// Pools is the live juror-pool store the tasks select from; nil
+	// constructs an empty one. All pool mutations must flow through the
+	// task store (PutPool/PatchPool/DeletePool) so they are journaled.
+	Pools *pool.Store
+	// CompactEvery triggers snapshot compaction after that many WAL
+	// records (0 = DefaultCompactEvery, negative = never).
+	CompactEvery int
+	// DefaultJurorTimeout, DefaultExpiry and DefaultTargetConfidence fill
+	// unset Spec fields at creation.
+	DefaultJurorTimeout     time.Duration
+	DefaultExpiry           time.Duration
+	DefaultTargetConfidence float64
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// RecoveryStats describes what Open replayed.
+type RecoveryStats struct {
+	// SnapshotLoaded reports that a compaction snapshot was restored.
+	SnapshotLoaded bool
+	// Records is the number of intact WAL records replayed.
+	Records int64
+	// TornBytes is the size of the truncated torn tail (0 = clean log).
+	TornBytes int64
+	// Pools and Tasks count the recovered state.
+	Pools int
+	Tasks int
+}
+
+// Stats is the store's observability surface: lifecycle gauges plus WAL
+// counters, exported by juryd's /metrics.
+type Stats struct {
+	Open          int
+	AwaitingVotes int
+	Decided       int
+	Expired       int
+	Tasks         int
+	Compactions   int64
+	WAL           WALStats
+}
+
+// Store is the durable decision-task store: the lifecycle state machine,
+// the journaled pool mutations, and the recovery machinery. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	wal   *WAL // nil for memory-only stores
+	dir   string
+	epoch uint64
+
+	pools *pool.Store
+	eng   *jury.Engine
+	now   func() time.Time
+
+	defaultJurorTimeout time.Duration
+	defaultExpiry       time.Duration
+	defaultTarget       float64
+	compactEvery        int
+	sinceCompact        int
+	compactions         atomic.Int64
+
+	tasks    map[string]*task
+	order    []string // creation order, for deterministic listing/sweeps
+	nextTask uint64
+	failed   bool // sticky: a journal write failed after state applied
+
+	nOpen, nAwaiting, nDecided, nExpired int
+
+	recovery RecoveryStats
+}
+
+// walFile names the epoch's log file inside dir.
+func walFile(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", epoch))
+}
+
+// snapshotFileName is the compaction snapshot inside dir.
+const snapshotFileName = "snapshot.json"
+
+// Open builds a Store, recovering state from Dir when set: it loads the
+// compaction snapshot (if any), replays the current WAL epoch —
+// truncating a torn tail — and resumes exactly where the previous
+// process stopped.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		pools:               cfg.Pools,
+		eng:                 cfg.Engine,
+		now:                 cfg.Now,
+		defaultJurorTimeout: cfg.DefaultJurorTimeout,
+		defaultExpiry:       cfg.DefaultExpiry,
+		defaultTarget:       cfg.DefaultTargetConfidence,
+		compactEvery:        cfg.CompactEvery,
+		tasks:               make(map[string]*task),
+		dir:                 cfg.Dir,
+	}
+	if s.pools == nil {
+		s.pools = pool.NewStore()
+	}
+	if s.eng == nil {
+		s.eng = jury.NewEngine(jury.BatchOptions{})
+	}
+	if s.now == nil {
+		s.now = func() time.Time { return time.Now().UTC() }
+	}
+	if s.defaultJurorTimeout <= 0 {
+		s.defaultJurorTimeout = DefaultJurorTimeout
+	}
+	if s.defaultExpiry <= 0 {
+		s.defaultExpiry = DefaultExpiry
+	}
+	if s.defaultTarget == 0 {
+		s.defaultTarget = estimate.DefaultTargetConfidence
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = DefaultCompactEvery
+	}
+	if s.dir == "" {
+		return s, nil
+	}
+
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	wal, records, err := OpenWAL(walFile(s.dir, s.epoch), WALOptions{
+		Sync:          cfg.Sync,
+		BatchInterval: cfg.BatchInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	for _, r := range records {
+		rec, err := decodeRecord(r.payload)
+		if err != nil {
+			wal.Close() //nolint:errcheck
+			return nil, err
+		}
+		if err := s.applyRecord(rec); err != nil {
+			wal.Close() //nolint:errcheck
+			return nil, fmt.Errorf("tasks: replaying %s record: %w", rec.Type, err)
+		}
+	}
+	s.sinceCompact = len(records)
+	st := wal.Stats()
+	s.recovery.Records = st.ReplayRecords
+	s.recovery.TornBytes = st.TornBytes
+	s.recovery.Pools = s.pools.Len()
+	s.recovery.Tasks = len(s.tasks)
+	s.removeStaleWALs()
+	return s, nil
+}
+
+// removeStaleWALs deletes log files from epochs other than the current
+// one (left behind by a crash between compaction steps; their contents
+// are covered by the snapshot).
+func (s *Store) removeStaleWALs() {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "wal-*.log"))
+	if err != nil {
+		return
+	}
+	cur := walFile(s.dir, s.epoch)
+	for _, m := range matches {
+		if m != cur {
+			os.Remove(m) //nolint:errcheck // best-effort cleanup
+		}
+	}
+}
+
+// Recovery returns what Open replayed.
+func (s *Store) Recovery() RecoveryStats { return s.recovery }
+
+// Pools returns the live juror-pool store. Reads are free; mutations
+// must go through PutPool/PatchPool/DeletePool to stay journaled.
+func (s *Store) Pools() *pool.Store { return s.pools }
+
+// Engine returns the shared JER engine.
+func (s *Store) Engine() *jury.Engine { return s.eng }
+
+// Durable reports whether the store journals to disk.
+func (s *Store) Durable() bool { return s.wal != nil }
+
+// Close flushes and closes the WAL. Further mutations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// Stats returns the lifecycle gauges and WAL counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Open:          s.nOpen,
+		AwaitingVotes: s.nAwaiting,
+		Decided:       s.nDecided,
+		Expired:       s.nExpired,
+		Tasks:         len(s.tasks),
+		Compactions:   s.compactions.Load(),
+	}
+	wal := s.wal
+	s.mu.Unlock()
+	if wal != nil {
+		st.WAL = wal.Stats()
+	}
+	return st
+}
+
+// commit identifies a journaled record for the durability wait: the WAL
+// instance it was appended to (a compaction may swap s.wal before the
+// caller waits) and its sequence there.
+type commit struct {
+	wal *WAL
+	seq uint64
+}
+
+// journal appends a record to the WAL (if any) without waiting for
+// durability, returning the commit token to pass to waitDurable.
+// Callers hold s.mu, so WAL order always equals application order.
+func (s *Store) journal(rec record) (commit, error) {
+	if s.wal == nil {
+		return commit{}, nil
+	}
+	raw, err := encodeRecord(rec)
+	if err != nil {
+		return commit{}, err
+	}
+	seq, err := s.wal.AppendAsync(raw)
+	if err != nil {
+		// The in-memory state this record describes was (or is about to
+		// be) applied; the journal no longer matches. Fail the store:
+		// restarting and replaying the intact log is the recovery path.
+		s.failed = true
+		return commit{}, fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	s.sinceCompact++
+	return commit{wal: s.wal, seq: seq}, nil
+}
+
+// waitDurable blocks until the journaled record is durable. Called
+// without s.mu so concurrent mutations group-commit into shared fsyncs.
+// A record's WAL may have been superseded by a compaction meanwhile;
+// its Close acknowledged everything buffered, so the wait still ends.
+func (s *Store) waitDurable(c commit) error {
+	if c.wal == nil || c.seq == 0 {
+		return nil
+	}
+	return c.wal.WaitDurable(c.seq)
+}
+
+// maybeCompactLocked triggers compaction when the log has grown past the
+// threshold. Callers hold s.mu.
+func (s *Store) maybeCompactLocked() {
+	if s.wal == nil || s.compactEvery < 0 || s.sinceCompact < s.compactEvery || s.failed {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		// Compaction failure is not fatal: the log keeps growing and the
+		// next threshold crossing retries.
+		s.sinceCompact = 0
+	}
+}
+
+// --- journaled pool mutations -------------------------------------------
+
+// PutPool journals and applies a full pool replacement.
+func (s *Store) PutPool(name string, jurors []jury.Juror) (*pool.Pool, error) {
+	at := s.now()
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return nil, ErrStoreFailed
+	}
+	p, err := s.pools.PutAt(name, jurors, at)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	states := make([]pool.JurorState, len(jurors))
+	for i, j := range jurors {
+		states[i] = pool.JurorState{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
+	}
+	c, err := s.journal(record{Type: recPoolPut, At: at, Pool: name, Jurors: states})
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.waitDurable(c); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PatchPool journals and applies incremental pool updates.
+func (s *Store) PatchPool(name string, updates []pool.JurorUpdate) (*pool.Pool, error) {
+	at := s.now()
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return nil, ErrStoreFailed
+	}
+	p, err := s.pools.PatchAt(name, updates, at)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	c, err := s.journal(record{Type: recPoolPatch, At: at, Pool: name, Updates: updates})
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.waitDurable(c); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DeletePool journals and applies a pool deletion. It reports whether
+// the pool existed.
+func (s *Store) DeletePool(name string) (bool, error) {
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return false, ErrStoreFailed
+	}
+	if !s.pools.Delete(name) {
+		s.mu.Unlock()
+		return false, nil
+	}
+	c, err := s.journal(record{Type: recPoolDelete, Pool: name})
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return true, err
+	}
+	return true, s.waitDurable(c)
+}
+
+// --- task lifecycle ------------------------------------------------------
+
+// Create selects a jury for the spec from the named pool's current
+// snapshot, journals the task and returns its initial view. The
+// selection itself runs outside the store lock on the immutable
+// snapshot.
+func (s *Store) Create(ctx context.Context, spec Spec) (View, error) {
+	spec, err := s.normalizeSpec(spec)
+	if err != nil {
+		return View{}, err
+	}
+	p, ok := s.pools.Get(spec.Pool)
+	if !ok {
+		return View{}, fmt.Errorf("%w: %q", pool.ErrPoolNotFound, spec.Pool)
+	}
+	var sel jury.Selection
+	if spec.Strategy == StrategyPay {
+		sel, err = s.eng.SelectBudgetedContext(ctx, p.Sorted(), spec.Budget)
+	} else {
+		sel, err = s.eng.SelectAltruisticSnapshot(ctx, p.Sorted())
+	}
+	if err != nil {
+		return View{}, err
+	}
+	if spec.MaxInvites == 0 {
+		spec.MaxInvites = 2 * len(sel.Jurors)
+	}
+	jurySel := make([]recJuror, len(sel.Jurors))
+	for i, j := range sel.Jurors {
+		jurySel[i] = recJuror{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
+	}
+	at := s.now()
+
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return View{}, ErrStoreFailed
+	}
+	// Re-fetch the pool under the store mutex: pool mutations journal
+	// under this same lock, so this snapshot is exactly the pool state
+	// at this record's position in the log — which is what applyCreate
+	// derives again on replay. Using the pre-lock snapshot here would
+	// let a concurrently journaled patch slip between it and the create
+	// record, making replay build a different replacement-candidate
+	// view than the live task used (and then reject the live run's own
+	// decline/vote records).
+	p, ok = s.pools.Get(spec.Pool)
+	if !ok {
+		s.mu.Unlock()
+		return View{}, fmt.Errorf("%w: %q", pool.ErrPoolNotFound, spec.Pool)
+	}
+	seqNo := s.nextTask
+	rec := record{
+		Type:         recTaskCreate,
+		At:           at,
+		Seq:          seqNo,
+		Spec:         &spec,
+		Jury:         jurySel,
+		PoolVersion:  p.Version,
+		PredictedJER: sel.JER,
+	}
+	tok, err := s.journal(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return View{}, err
+	}
+	t := s.applyCreate(rec, p.Sorted())
+	view := t.view()
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	if err := s.waitDurable(tok); err != nil {
+		return View{}, err
+	}
+	return view, nil
+}
+
+// applyCreate inserts the journaled task. Callers hold s.mu.
+func (s *Store) applyCreate(rec record, candidates []jury.Juror) *task {
+	id := fmt.Sprintf("t%08d", rec.Seq)
+	t := &task{
+		id:           id,
+		spec:         *rec.Spec,
+		status:       StatusOpen,
+		poolVersion:  rec.PoolVersion,
+		predictedJER: rec.PredictedJER,
+		createdAt:    rec.At,
+		expiresAt:    rec.At.Add(rec.Spec.ExpiresIn),
+		jurors:       make([]TaskJuror, len(rec.Jury)),
+		index:        make(map[string]int, len(rec.Jury)),
+		candidates:   candidates,
+	}
+	for i, j := range rec.Jury {
+		t.jurors[i] = TaskJuror{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost,
+			State: JurorInvited, InvitedAt: rec.At}
+		t.index[j.ID] = i
+	}
+	s.tasks[id] = t
+	s.order = append(s.order, id)
+	if rec.Seq >= s.nextTask {
+		s.nextTask = rec.Seq + 1
+	}
+	s.nOpen++
+	return t
+}
+
+// Get returns the task's current view.
+func (s *Store) Get(id string) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return View{}, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
+	}
+	return t.view(), nil
+}
+
+// List returns every task's view in creation order, optionally filtered
+// by status ("" = all).
+func (s *Store) List(status Status) []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		t := s.tasks[id]
+		if status != "" && t.status != status {
+			continue
+		}
+		out = append(out, t.view())
+	}
+	return out
+}
+
+// checkVote validates a prospective vote/decline without mutating.
+func checkVote(t *task, jurorID string) (int, error) {
+	if t.status.closed() {
+		return 0, fmt.Errorf("%w: %s is %s", ErrTaskClosed, t.id, t.status)
+	}
+	i, ok := t.index[jurorID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q on task %s", ErrNotInvited, jurorID, t.id)
+	}
+	switch t.jurors[i].State {
+	case JurorVoted:
+		return 0, fmt.Errorf("%w: %q on task %s", ErrAlreadyVoted, jurorID, t.id)
+	case JurorDeclined, JurorTimedOut:
+		return 0, fmt.Errorf("%w: %q on task %s", ErrJurorReleased, jurorID, t.id)
+	}
+	return i, nil
+}
+
+// Vote records one juror's vote, folds it into the posterior, and closes
+// the task when the confidence target is crossed (sequential early stop)
+// or the jury is exhausted.
+func (s *Store) Vote(id, jurorID string, voteYes bool) (View, error) {
+	at := s.now()
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return View{}, ErrStoreFailed
+	}
+	t, ok := s.tasks[id]
+	if !ok {
+		s.mu.Unlock()
+		return View{}, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
+	}
+	if _, err := checkVote(t, jurorID); err != nil {
+		s.mu.Unlock()
+		return View{}, err
+	}
+	v := voteYes
+	c, err := s.journal(record{Type: recVote, At: at, Task: id, Juror: jurorID, Vote: &v})
+	if err != nil {
+		s.mu.Unlock()
+		return View{}, err
+	}
+	s.applyVote(t, jurorID, voteYes, at)
+	view := t.view()
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	if err := s.waitDurable(c); err != nil {
+		return View{}, err
+	}
+	return view, nil
+}
+
+// applyVote applies a validated vote. Callers hold s.mu.
+func (s *Store) applyVote(t *task, jurorID string, voteYes bool, at time.Time) {
+	i := t.index[jurorID]
+	v := voteYes
+	t.jurors[i].Vote = &v
+	t.jurors[i].State = JurorVoted
+	// The rate was validated at pool ingest and pinned at invitation, so
+	// Observe cannot fail.
+	t.post.Observe(voteYes, t.jurors[i].ErrorRate) //nolint:errcheck
+	if t.status == StatusOpen {
+		s.setStatus(t, StatusAwaitingVotes)
+	}
+	s.closeCheck(t, at)
+}
+
+// Decline releases a juror who refused the invitation and invites the
+// next-best replacement under the remaining budget.
+func (s *Store) Decline(id, jurorID string) (View, error) {
+	return s.decline(id, jurorID, false)
+}
+
+func (s *Store) decline(id, jurorID string, timeout bool) (View, error) {
+	at := s.now()
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return View{}, ErrStoreFailed
+	}
+	t, ok := s.tasks[id]
+	if !ok {
+		s.mu.Unlock()
+		return View{}, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
+	}
+	if _, err := checkVote(t, jurorID); err != nil {
+		s.mu.Unlock()
+		return View{}, err
+	}
+	c, err := s.journal(record{Type: recDecline, At: at, Task: id, Juror: jurorID, Timeout: timeout})
+	if err != nil {
+		s.mu.Unlock()
+		return View{}, err
+	}
+	s.applyDecline(t, jurorID, timeout, at)
+	view := t.view()
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	if err := s.waitDurable(c); err != nil {
+		return View{}, err
+	}
+	return view, nil
+}
+
+// applyDecline releases the juror, invites a replacement when one fits,
+// and re-checks closure. Callers hold s.mu.
+func (s *Store) applyDecline(t *task, jurorID string, timeout bool, at time.Time) {
+	i := t.index[jurorID]
+	if timeout {
+		t.jurors[i].State = JurorTimedOut
+	} else {
+		t.jurors[i].State = JurorDeclined
+	}
+	t.declines++
+	s.inviteReplacement(t, at)
+	s.closeCheck(t, at)
+}
+
+// inviteReplacement invites the next-best candidate from the task's
+// creation snapshot: lowest ε not yet invited and, under the pay
+// strategy, fitting the budget freed by releases. Deterministic — the
+// candidate view is ε-sorted and immutable — so WAL replay re-derives
+// the same invitation.
+func (s *Store) inviteReplacement(t *task, at time.Time) {
+	if t.status.closed() || len(t.jurors) >= t.spec.MaxInvites {
+		return
+	}
+	var remaining float64
+	if t.spec.Strategy == StrategyPay {
+		remaining = t.spec.Budget - t.committedCost()
+	}
+	for _, c := range t.candidates {
+		if _, invited := t.index[c.ID]; invited {
+			continue
+		}
+		if t.spec.Strategy == StrategyPay && c.Cost > remaining {
+			continue
+		}
+		t.jurors = append(t.jurors, TaskJuror{ID: c.ID, ErrorRate: c.ErrorRate, Cost: c.Cost,
+			State: JurorInvited, InvitedAt: at})
+		t.index[c.ID] = len(t.jurors) - 1
+		return
+	}
+}
+
+// closeCheck applies the sequential stopping rule. Callers hold s.mu.
+func (s *Store) closeCheck(t *task, at time.Time) {
+	if t.status.closed() {
+		return
+	}
+	answer, conf := t.post.Verdict()
+	if t.spec.TargetConfidence < 1 && conf >= t.spec.TargetConfidence {
+		t.verdict = &Verdict{Answer: answer, Confidence: conf,
+			EarlyStopped: t.pending() > 0, DecidedAt: at}
+		s.setStatus(t, StatusDecided)
+		return
+	}
+	if t.pending() > 0 {
+		return
+	}
+	// Jury exhausted below the target: emit the MAP verdict if the
+	// evidence favours one answer at all, otherwise expire undecided.
+	if t.post.Decisive() {
+		t.verdict = &Verdict{Answer: answer, Confidence: conf, DecidedAt: at}
+		s.setStatus(t, StatusDecided)
+		return
+	}
+	s.setStatus(t, StatusExpired)
+}
+
+// Sweep applies wall-clock policy at the given instant: tasks past their
+// expiry close without a verdict, and invited jurors past the juror
+// timeout are released (journaled as timeout declines, with
+// replacements invited under the remaining budget). It returns how many
+// jurors were released and how many tasks expired. juryd calls it on a
+// timer; tests call it with explicit clocks.
+func (s *Store) Sweep(now time.Time) (released, expired int, err error) {
+	type action struct {
+		task  string
+		juror string // "" = expire the task
+	}
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return 0, 0, ErrStoreFailed
+	}
+	var acts []action
+	for _, id := range s.order {
+		t := s.tasks[id]
+		if t.status.closed() {
+			continue
+		}
+		if !now.Before(t.expiresAt) {
+			acts = append(acts, action{task: id})
+			continue
+		}
+		for _, j := range t.jurors {
+			if j.State == JurorInvited && !now.Before(j.InvitedAt.Add(t.spec.JurorTimeout)) {
+				acts = append(acts, action{task: id, juror: j.ID})
+			}
+		}
+	}
+	var lastCommit commit
+	for _, a := range acts {
+		t := s.tasks[a.task]
+		if t.status.closed() {
+			continue // an earlier action in this sweep closed it
+		}
+		if a.juror == "" {
+			c, jerr := s.journal(record{Type: recExpire, At: now, Task: a.task})
+			if jerr != nil {
+				s.mu.Unlock()
+				return released, expired, jerr
+			}
+			lastCommit = c
+			s.applyExpire(t)
+			expired++
+			continue
+		}
+		if _, cerr := checkVote(t, a.juror); cerr != nil {
+			continue // voted or released since the scan (replacement chains)
+		}
+		c, jerr := s.journal(record{Type: recDecline, At: now, Task: a.task, Juror: a.juror, Timeout: true})
+		if jerr != nil {
+			s.mu.Unlock()
+			return released, expired, jerr
+		}
+		lastCommit = c
+		s.applyDecline(t, a.juror, true, now)
+		released++
+	}
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	return released, expired, s.waitDurable(lastCommit)
+}
+
+// applyExpire closes the task without a verdict. Callers hold s.mu.
+func (s *Store) applyExpire(t *task) {
+	if t.status.closed() {
+		return
+	}
+	s.setStatus(t, StatusExpired)
+}
+
+// setStatus transitions a task and maintains the gauges. Callers hold
+// s.mu.
+func (s *Store) setStatus(t *task, next Status) {
+	switch t.status {
+	case StatusOpen:
+		s.nOpen--
+	case StatusAwaitingVotes:
+		s.nAwaiting--
+	case StatusDecided:
+		s.nDecided--
+	case StatusExpired:
+		s.nExpired--
+	}
+	t.status = next
+	switch next {
+	case StatusOpen:
+		s.nOpen++
+	case StatusAwaitingVotes:
+		s.nAwaiting++
+	case StatusDecided:
+		s.nDecided++
+	case StatusExpired:
+		s.nExpired++
+	}
+}
+
+// applyRecord replays one journaled mutation. Records passed validation
+// before being journaled, so failures indicate a corrupted or
+// out-of-order log and abort recovery.
+func (s *Store) applyRecord(rec record) error {
+	switch rec.Type {
+	case recPoolPut:
+		jurors := make([]jury.Juror, len(rec.Jurors))
+		for i, js := range rec.Jurors {
+			jurors[i] = jury.Juror{ID: js.ID, ErrorRate: js.ErrorRate, Cost: js.Cost}
+		}
+		_, err := s.pools.PutAt(rec.Pool, jurors, rec.At)
+		return err
+	case recPoolPatch:
+		_, err := s.pools.PatchAt(rec.Pool, rec.Updates, rec.At)
+		return err
+	case recPoolDelete:
+		s.pools.Delete(rec.Pool)
+		return nil
+	case recTaskCreate:
+		if rec.Spec == nil {
+			return errors.New("tasks: create record missing spec")
+		}
+		var candidates []jury.Juror
+		if p, ok := s.pools.Get(rec.Spec.Pool); ok {
+			candidates = p.Sorted()
+		}
+		s.applyCreate(rec, candidates)
+		return nil
+	case recVote:
+		t, ok := s.tasks[rec.Task]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
+		}
+		if rec.Vote == nil {
+			return errors.New("tasks: vote record missing vote")
+		}
+		if _, err := checkVote(t, rec.Juror); err != nil {
+			return err
+		}
+		s.applyVote(t, rec.Juror, *rec.Vote, rec.At)
+		return nil
+	case recDecline:
+		t, ok := s.tasks[rec.Task]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
+		}
+		if _, err := checkVote(t, rec.Juror); err != nil {
+			return err
+		}
+		s.applyDecline(t, rec.Juror, rec.Timeout, rec.At)
+		return nil
+	case recExpire:
+		t, ok := s.tasks[rec.Task]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
+		}
+		s.applyExpire(t)
+		return nil
+	default:
+		return fmt.Errorf("tasks: unknown wal record type %q", rec.Type)
+	}
+}

@@ -1,0 +1,289 @@
+package tasks
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"juryselect/internal/estimate"
+	"juryselect/jury"
+)
+
+// Status is a task's lifecycle state.
+type Status string
+
+const (
+	// StatusOpen: jury invited, no votes yet.
+	StatusOpen Status = "open"
+	// StatusAwaitingVotes: at least one vote in, verdict not yet reached.
+	StatusAwaitingVotes Status = "awaiting_votes"
+	// StatusDecided: a verdict was emitted (early stop, or all votes in
+	// with decisive evidence).
+	StatusDecided Status = "decided"
+	// StatusExpired: the task closed without a verdict — deadline passed,
+	// or the jury was exhausted with perfectly balanced (or no) evidence.
+	StatusExpired Status = "expired"
+)
+
+// closed reports whether the status is terminal.
+func (s Status) closed() bool { return s == StatusDecided || s == StatusExpired }
+
+// JurorState is one invited juror's standing within a task.
+type JurorState string
+
+const (
+	// JurorInvited: asked, no answer yet.
+	JurorInvited JurorState = "invited"
+	// JurorVoted: answered.
+	JurorVoted JurorState = "voted"
+	// JurorDeclined: explicitly refused; released from the task.
+	JurorDeclined JurorState = "declined"
+	// JurorTimedOut: never answered within the juror timeout; released.
+	JurorTimedOut JurorState = "timed_out"
+)
+
+// Strategy names accepted by Spec.Strategy.
+const (
+	StrategyAltr = "altr"
+	StrategyPay  = "pay"
+)
+
+// Lifecycle errors surfaced on the task endpoints.
+var (
+	// ErrInvalidSpec reports a task spec that failed validation; the
+	// serving layer maps it to 400.
+	ErrInvalidSpec = errors.New("tasks: invalid spec")
+	// ErrTaskNotFound reports a request against an unknown task ID.
+	ErrTaskNotFound = errors.New("tasks: task not found")
+	// ErrTaskClosed reports a vote or decline on a decided/expired task.
+	ErrTaskClosed = errors.New("tasks: task already closed")
+	// ErrNotInvited reports a vote by a juror the task never invited.
+	ErrNotInvited = errors.New("tasks: juror not invited")
+	// ErrAlreadyVoted reports a second vote by the same juror.
+	ErrAlreadyVoted = errors.New("tasks: juror already voted")
+	// ErrJurorReleased reports a vote by a juror already released
+	// (declined or timed out) from the task.
+	ErrJurorReleased = errors.New("tasks: juror released from task")
+)
+
+// Spec is a decision task's immutable request parameters. The zero value
+// of every optional field selects the store default; normalizeSpec is
+// applied — and the normalized spec journaled — at creation, so replay
+// never depends on defaults changing across versions.
+type Spec struct {
+	// Pool names the juror pool to select from.
+	Pool string `json:"pool"`
+	// Question is the task's free-text payload (opaque to the store).
+	Question string `json:"question,omitempty"`
+	// Strategy is "altr" (default) or "pay".
+	Strategy string `json:"strategy,omitempty"`
+	// Budget is the pay model's budget B (pay strategy only). It also
+	// caps replacements: an invited jury never exceeds it.
+	Budget float64 `json:"budget,omitempty"`
+	// TargetConfidence is the posterior confidence that closes the task
+	// early, in (0.5, 1]. Exactly 1 disables early stop: the task
+	// collects every invited vote (the fixed-jury baseline).
+	TargetConfidence float64 `json:"target_confidence,omitempty"`
+	// MaxInvites caps total invitations including the initial jury
+	// (bounding replacement churn). Zero selects 2× the initial jury.
+	MaxInvites int `json:"max_invites,omitempty"`
+	// JurorTimeout releases an invited juror who has not answered.
+	JurorTimeout time.Duration `json:"juror_timeout,omitempty"`
+	// ExpiresIn closes the whole task without a verdict.
+	ExpiresIn time.Duration `json:"expires_in,omitempty"`
+}
+
+// TaskJuror is one invited juror within a task.
+type TaskJuror struct {
+	ID string
+	// ErrorRate and Cost are the juror's estimate and payment
+	// requirement at invitation time (the pool may drift afterwards; the
+	// task's posterior arithmetic stays pinned to what selection saw).
+	ErrorRate float64
+	Cost      float64
+	State     JurorState
+	// Vote is set once State is JurorVoted.
+	Vote      *bool
+	InvitedAt time.Time
+}
+
+// Verdict is a decided task's outcome.
+type Verdict struct {
+	Answer     bool
+	Confidence float64
+	// EarlyStopped reports that the posterior crossed the target before
+	// every invited juror had answered — the votes the sequential policy
+	// did not spend.
+	EarlyStopped bool
+	DecidedAt    time.Time
+}
+
+// task is the store's internal task state, guarded by the store mutex.
+type task struct {
+	id           string
+	spec         Spec
+	status       Status
+	poolVersion  uint64
+	predictedJER float64
+	createdAt    time.Time
+	expiresAt    time.Time
+	jurors       []TaskJuror
+	index        map[string]int // juror ID → jurors index
+	post         estimate.VerdictPosterior
+	verdict      *Verdict
+	declines     int
+	// candidates is the ε-sorted creation-snapshot view replacements are
+	// drawn from (immutable, shared with the pool snapshot).
+	candidates []jury.Juror
+}
+
+// pending counts invited jurors who have not yet answered or been
+// released.
+func (t *task) pending() int {
+	n := 0
+	for _, j := range t.jurors {
+		if j.State == JurorInvited {
+			n++
+		}
+	}
+	return n
+}
+
+// committedCost sums the cost of jurors still on the task (invited or
+// voted): the budget replacements must fit under.
+func (t *task) committedCost() float64 {
+	c := 0.0
+	for _, j := range t.jurors {
+		if j.State == JurorInvited || j.State == JurorVoted {
+			c += j.Cost
+		}
+	}
+	return c
+}
+
+// normalizeSpec fills spec defaults from the store configuration and
+// validates the result.
+func (s *Store) normalizeSpec(spec Spec) (Spec, error) {
+	if spec.Pool == "" {
+		return spec, fmt.Errorf("%w: spec must name a pool", ErrInvalidSpec)
+	}
+	if spec.Strategy == "" {
+		spec.Strategy = StrategyAltr
+	}
+	switch spec.Strategy {
+	case StrategyAltr:
+		if spec.Budget != 0 {
+			return spec, fmt.Errorf("%w: budget applies only to strategy %q", ErrInvalidSpec, StrategyPay)
+		}
+	case StrategyPay:
+		if spec.Budget < 0 || math.IsNaN(spec.Budget) {
+			return spec, fmt.Errorf("%w: budget %g must be non-negative", ErrInvalidSpec, spec.Budget)
+		}
+	default:
+		return spec, fmt.Errorf("%w: unknown strategy %q (want %s or %s)", ErrInvalidSpec, spec.Strategy, StrategyAltr, StrategyPay)
+	}
+	if spec.TargetConfidence == 0 {
+		spec.TargetConfidence = s.defaultTarget
+	}
+	if math.IsNaN(spec.TargetConfidence) || spec.TargetConfidence <= 0.5 || spec.TargetConfidence > 1 {
+		return spec, fmt.Errorf("%w: target_confidence %g outside (0.5, 1]", ErrInvalidSpec, spec.TargetConfidence)
+	}
+	if spec.MaxInvites < 0 {
+		return spec, fmt.Errorf("%w: max_invites %d must be non-negative", ErrInvalidSpec, spec.MaxInvites)
+	}
+	if spec.JurorTimeout == 0 {
+		spec.JurorTimeout = s.defaultJurorTimeout
+	}
+	if spec.JurorTimeout < 0 {
+		return spec, fmt.Errorf("%w: juror_timeout must be positive", ErrInvalidSpec)
+	}
+	if spec.ExpiresIn == 0 {
+		spec.ExpiresIn = s.defaultExpiry
+	}
+	if spec.ExpiresIn < 0 {
+		return spec, fmt.Errorf("%w: expires_in must be positive", ErrInvalidSpec)
+	}
+	return spec, nil
+}
+
+// JurorView is the wire/snapshot form of one invited juror.
+type JurorView struct {
+	ID        string     `json:"id"`
+	ErrorRate float64    `json:"error_rate"`
+	Cost      float64    `json:"cost,omitempty"`
+	State     JurorState `json:"state"`
+	Vote      *bool      `json:"vote,omitempty"`
+	InvitedAt time.Time  `json:"invited_at"`
+}
+
+// VerdictView is the wire/snapshot form of a verdict.
+type VerdictView struct {
+	Answer       bool      `json:"answer"`
+	Confidence   float64   `json:"confidence"`
+	EarlyStopped bool      `json:"early_stopped,omitempty"`
+	DecidedAt    time.Time `json:"decided_at"`
+}
+
+// View is the complete externally visible state of a task: the shape the
+// HTTP API serves and the crash-recovery tests compare byte for byte.
+type View struct {
+	ID               string       `json:"id"`
+	Status           Status       `json:"status"`
+	Pool             string       `json:"pool"`
+	PoolVersion      uint64       `json:"pool_version"`
+	Question         string       `json:"question,omitempty"`
+	Strategy         string       `json:"strategy"`
+	Budget           float64      `json:"budget,omitempty"`
+	TargetConfidence float64      `json:"target_confidence"`
+	PredictedJER     float64      `json:"predicted_jer"`
+	CreatedAt        time.Time    `json:"created_at"`
+	ExpiresAt        time.Time    `json:"expires_at"`
+	Jurors           []JurorView  `json:"jurors"`
+	Invites          int          `json:"invites"`
+	VotesSpent       int          `json:"votes_spent"`
+	Declines         int          `json:"declines,omitempty"`
+	PYes             float64      `json:"p_yes"`
+	Verdict          *VerdictView `json:"verdict,omitempty"`
+}
+
+// view renders the task's external state. Callers hold the store mutex.
+func (t *task) view() View {
+	v := View{
+		ID:               t.id,
+		Status:           t.status,
+		Pool:             t.spec.Pool,
+		PoolVersion:      t.poolVersion,
+		Question:         t.spec.Question,
+		Strategy:         t.spec.Strategy,
+		Budget:           t.spec.Budget,
+		TargetConfidence: t.spec.TargetConfidence,
+		PredictedJER:     t.predictedJER,
+		CreatedAt:        t.createdAt,
+		ExpiresAt:        t.expiresAt,
+		Jurors:           make([]JurorView, len(t.jurors)),
+		Invites:          len(t.jurors),
+		VotesSpent:       t.post.Votes(),
+		Declines:         t.declines,
+		PYes:             t.post.PYes(),
+	}
+	for i, j := range t.jurors {
+		v.Jurors[i] = JurorView{
+			ID:        j.ID,
+			ErrorRate: j.ErrorRate,
+			Cost:      j.Cost,
+			State:     j.State,
+			Vote:      j.Vote,
+			InvitedAt: j.InvitedAt,
+		}
+	}
+	if t.verdict != nil {
+		v.Verdict = &VerdictView{
+			Answer:       t.verdict.Answer,
+			Confidence:   t.verdict.Confidence,
+			EarlyStopped: t.verdict.EarlyStopped,
+			DecidedAt:    t.verdict.DecidedAt,
+		}
+	}
+	return v
+}

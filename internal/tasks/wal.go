@@ -1,0 +1,458 @@
+// Package tasks is the durable decision-task lifecycle subsystem behind
+// juryd: the paper's object of study — a question posed to a selected
+// jury whose votes yield a verdict — as a stateful, crash-safe service
+// component.
+//
+// A task is created with a question, a selection strategy and budget,
+// and a target confidence. The store selects a jury from the live pool
+// snapshot (recording the pool version), collects votes as they arrive,
+// and folds each one into an exact posterior over the answer
+// (estimate.VerdictPosterior). Two mechanisms take the paper's
+// pay-as-you-go framing online:
+//
+//   - Sequential early stop: the task closes and emits a verdict the
+//     moment posterior confidence crosses the target, spending fewer
+//     votes than the fixed jury would.
+//   - Juror timeout/replacement: a selected juror who never answers
+//     (the common case on real micro-blog services, cf. Mahmud et al.,
+//     arXiv:1404.2013) is released and the next-best candidate under
+//     the remaining budget is invited.
+//
+// Durability: every task and pool mutation is journaled to an
+// append-only write-ahead log with CRC-framed records and group-commit
+// fsync batching before it is applied, and the full state is
+// periodically folded into a snapshot so the log stays short
+// (Compact). A restarted process replays snapshot + log to the exact
+// pre-crash state; a torn tail (partial final record from a crash
+// mid-write) is detected by the CRC frame and truncated.
+package tasks
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncMode selects the WAL's durability discipline.
+type SyncMode string
+
+const (
+	// SyncAlways fsyncs before every append returns: an acknowledged
+	// write survives any crash. Appends still group-commit — concurrent
+	// writers share one fsync.
+	SyncAlways SyncMode = "always"
+	// SyncBatch (the default) fsyncs on a short timer: acknowledged
+	// writes survive a process crash immediately (they are in the
+	// kernel), and survive a machine crash once the batch window — at
+	// most BatchInterval — has passed. One fsync amortizes over every
+	// append in the window.
+	SyncBatch SyncMode = "batch"
+	// SyncOff never fsyncs (the OS flushes when it pleases). For tests,
+	// benchmarks and ephemeral stores.
+	SyncOff SyncMode = "off"
+)
+
+// DefaultBatchInterval is the SyncBatch group-commit window.
+const DefaultBatchInterval = 2 * time.Millisecond
+
+// maxRecordLen bounds a single WAL record; a frame declaring more is
+// treated as a torn/corrupt tail. Generous: the largest legitimate
+// record is a full-pool put.
+const maxRecordLen = 64 << 20
+
+// walFrameOverhead is the per-record framing cost: u32 payload length +
+// u32 CRC-32C of the payload, both little-endian.
+const walFrameOverhead = 8
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALClosed reports an append on a closed WAL.
+var ErrWALClosed = errors.New("tasks: wal closed")
+
+// ErrRecordTooLarge reports an append whose payload exceeds the frame
+// bound. Rejecting it at write time matters: a larger record would be
+// written (and acknowledged) successfully but rejected as a torn tail
+// on replay, silently truncating it and everything after it.
+var ErrRecordTooLarge = errors.New("tasks: wal record exceeds frame bound")
+
+// WALOptions configures OpenWAL. The zero value selects SyncBatch with
+// the default window.
+type WALOptions struct {
+	Sync          SyncMode
+	BatchInterval time.Duration
+}
+
+// WALStats is a snapshot of the log's counters.
+type WALStats struct {
+	// Appends counts records appended since open (excluding replay).
+	Appends int64
+	// Fsyncs counts fsync calls issued.
+	Fsyncs int64
+	// FsyncP99NS is the 99th-percentile fsync latency over a recent
+	// window, in nanoseconds (0 until the first fsync).
+	FsyncP99NS int64
+	// ReplayRecords is the number of intact records replayed at open.
+	ReplayRecords int64
+	// TornBytes is the size of the torn tail truncated at open (0 for a
+	// clean log).
+	TornBytes int64
+}
+
+// WAL is a CRC-framed append-only log with group-commit fsync batching.
+// Append is safe for concurrent use; records are durable per the
+// configured SyncMode when Append returns. The frame layout is
+//
+//	record  := len:u32le  crc:u32le  payload:[len]byte
+//	crc      = CRC-32C(payload)
+//
+// A reader accepts the longest prefix of intact frames and truncates
+// the rest: a crash mid-write loses at most the unacknowledged tail.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	hdr     [walFrameOverhead]byte
+	written uint64 // records buffered (monotonic)
+	synced  uint64 // records durable
+	err     error  // sticky write/sync error
+	closed  bool
+	durable *sync.Cond // broadcast when synced advances
+
+	mode     SyncMode
+	interval time.Duration
+	syncReq  chan struct{}
+	done     chan struct{}
+	loopDone chan struct{}
+
+	appends  atomic.Int64
+	fsyncs   atomic.Int64
+	replayed int64
+	torn     int64
+
+	latMu  sync.Mutex
+	latBuf [128]int64 // ring of recent fsync latencies
+	latN   int
+}
+
+// walRecord is one intact record yielded by readWAL.
+type walRecord struct {
+	payload []byte
+}
+
+// readWAL reads every intact frame of the file at path and returns the
+// records plus the byte offset where intact data ends (the truncation
+// point for a torn tail). A missing file yields zero records.
+func readWAL(path string) (records []walRecord, validLen int64, err error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	off := int64(0)
+	for {
+		rest := raw[off:]
+		if len(rest) < walFrameOverhead {
+			break // short header: torn tail
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxRecordLen || int64(len(rest))-walFrameOverhead < n {
+			break // impossible length or short payload: torn tail
+		}
+		payload := rest[walFrameOverhead : walFrameOverhead+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break // corrupt payload: treat as torn
+		}
+		records = append(records, walRecord{payload: payload})
+		off += walFrameOverhead + n
+	}
+	return records, off, nil
+}
+
+// OpenWAL opens (creating if absent) the log at path, truncates any torn
+// tail, and positions for appending. The returned records are the intact
+// prefix, for the caller to replay.
+func OpenWAL(path string, opts WALOptions) (*WAL, []walRecord, error) {
+	records, validLen, err := readWAL(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tasks: reading wal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	torn := info.Size() - validLen
+	if torn > 0 {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("tasks: truncating torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &WAL{
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<16),
+		mode:     opts.Sync,
+		interval: opts.BatchInterval,
+		syncReq:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		replayed: int64(len(records)),
+		torn:     torn,
+	}
+	if w.mode == "" {
+		w.mode = SyncBatch
+	}
+	if w.interval <= 0 {
+		w.interval = DefaultBatchInterval
+	}
+	w.durable = sync.NewCond(&w.mu)
+	go w.syncLoop()
+	return w, records, nil
+}
+
+// Append writes one record and, per the sync mode, waits for it to be
+// durable. Safe for concurrent use; the durability wait group-commits:
+// every append buffered before a given fsync is acknowledged by it.
+func (w *WAL) Append(payload []byte) error {
+	seq, err := w.AppendAsync(payload)
+	if err != nil {
+		return err
+	}
+	return w.WaitDurable(seq)
+}
+
+// AppendAsync buffers one record and returns its sequence number without
+// waiting for durability. Callers that must order the append against
+// their own state mutation (the task store journals under its mutex)
+// buffer here and call WaitDurable after releasing their lock, so
+// concurrent writers share one fsync.
+func (w *WAL) AppendAsync(payload []byte) (seq uint64, err error) {
+	if int64(len(payload)) > maxRecordLen {
+		return 0, fmt.Errorf("%w: %d bytes > %d", ErrRecordTooLarge, len(payload), int64(maxRecordLen))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	binary.LittleEndian.PutUint32(w.hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		w.err = err
+		return 0, err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = err
+		return 0, err
+	}
+	w.written++
+	w.appends.Add(1)
+
+	if w.mode == SyncOff {
+		// Flush to the kernel so readers of the file (and a process
+		// crash) see the record; no fsync.
+		if err := w.w.Flush(); err != nil {
+			w.err = err
+			return 0, err
+		}
+		w.synced = w.written
+		return w.written, nil
+	}
+	if w.mode == SyncAlways {
+		// Wake the sync loop immediately instead of waiting out the
+		// batch window.
+		select {
+		case w.syncReq <- struct{}{}:
+		default:
+		}
+	}
+	return w.written, nil
+}
+
+// WaitDurable blocks until the record with the given sequence number is
+// durable per the sync mode (a no-op for SyncOff).
+func (w *WAL) WaitDurable(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.synced < seq && w.err == nil && !w.closed {
+		w.durable.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.synced < seq {
+		return ErrWALClosed
+	}
+	return nil
+}
+
+// syncLoop is the single fsync issuer: it wakes on the batch timer (or
+// immediately for SyncAlways), flushes the buffer, syncs, and
+// acknowledges every record written before the flush.
+func (w *WAL) syncLoop() {
+	defer close(w.loopDone)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.syncReq:
+		case <-ticker.C:
+		}
+		w.syncOnce()
+	}
+}
+
+// syncOnce flushes and fsyncs, advancing the durability watermark.
+func (w *WAL) syncOnce() {
+	w.mu.Lock()
+	if w.err != nil || w.synced == w.written {
+		w.mu.Unlock()
+		return
+	}
+	target := w.written
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		w.durable.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+
+	// fsync outside the lock: appenders keep buffering meanwhile. The
+	// kernel persists at least everything flushed above.
+	start := time.Now()
+	err := w.f.Sync()
+	elapsed := time.Since(start).Nanoseconds()
+	w.fsyncs.Add(1)
+	w.latMu.Lock()
+	w.latBuf[w.latN%len(w.latBuf)] = elapsed
+	w.latN++
+	w.latMu.Unlock()
+
+	w.mu.Lock()
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	if err == nil && target > w.synced {
+		w.synced = target
+	}
+	w.durable.Broadcast()
+	w.mu.Unlock()
+}
+
+// Reset truncates the log to empty. Called by snapshot compaction after
+// the snapshot containing every logged mutation is durable; the caller
+// must ensure no concurrent appends.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.synced = w.written // nothing outstanding
+	return nil
+}
+
+// Close flushes, syncs and closes the log. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	flushErr := w.w.Flush()
+	if flushErr != nil && w.err == nil {
+		w.err = flushErr
+	}
+	w.mu.Unlock()
+
+	close(w.done)
+	<-w.loopDone
+
+	syncErr := w.f.Sync()
+	w.mu.Lock()
+	if flushErr == nil && syncErr == nil && w.err == nil {
+		// The final flush+sync covered everything buffered: acknowledge
+		// any waiter that raced the shutdown.
+		w.synced = w.written
+	}
+	w.durable.Broadcast()
+	w.mu.Unlock()
+	closeErr := w.f.Close()
+	switch {
+	case flushErr != nil:
+		return flushErr
+	case syncErr != nil:
+		return syncErr
+	default:
+		return closeErr
+	}
+}
+
+// Stats returns a snapshot of the log's counters.
+func (w *WAL) Stats() WALStats {
+	st := WALStats{
+		Appends:       w.appends.Load(),
+		Fsyncs:        w.fsyncs.Load(),
+		ReplayRecords: w.replayed,
+		TornBytes:     w.torn,
+	}
+	w.latMu.Lock()
+	n := w.latN
+	if n > len(w.latBuf) {
+		n = len(w.latBuf)
+	}
+	if n > 0 {
+		lat := make([]int64, n)
+		copy(lat, w.latBuf[:n])
+		w.latMu.Unlock()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st.FsyncP99NS = lat[int(0.99*float64(n-1))]
+	} else {
+		w.latMu.Unlock()
+	}
+	return st
+}
