@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -393,6 +394,46 @@ func taskBenches() []namedBench {
 				next++
 			}
 		}},
+		{"ServerTaskVoteBatch/n101", func(b *testing.B) {
+			// One op = one batch round trip voting a fresh fixed-jury task
+			// to completion (creation untimed): ServerTaskVote's per-vote
+			// journal and posterior work amortized into a single
+			// decode/encode. Divide ns/op by the jury size ("votes" extra
+			// metric) to compare per-vote cost with ServerTaskVote.
+			ts := taskServer(b, b.TempDir())
+			createBody := []byte(`{"pool":"crowd","target_confidence":1}`)
+			votes := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				created := post(b, ts.URL+"/v1/tasks", createBody, http.StatusCreated)
+				var cr struct {
+					Task struct {
+						ID     string `json:"id"`
+						Jurors []struct {
+							ID string `json:"id"`
+						} `json:"jurors"`
+					} `json:"task"`
+				}
+				if err := json.Unmarshal(created, &cr); err != nil {
+					b.Fatal(err)
+				}
+				var body bytes.Buffer
+				body.WriteString(`{"votes":[`)
+				for k, j := range cr.Task.Jurors {
+					if k > 0 {
+						body.WriteByte(',')
+					}
+					fmt.Fprintf(&body, `{"juror_id":%q,"vote":true}`, j.ID)
+				}
+				body.WriteString(`]}`)
+				votes += len(cr.Task.Jurors)
+				b.StartTimer()
+				post(b, ts.URL+"/v1/tasks/"+cr.Task.ID+"/votes/batch", body.Bytes(), http.StatusOK)
+			}
+			b.ReportMetric(float64(votes)/float64(b.N), "votes")
+		}},
 		{"WALAppend/off", func(b *testing.B) {
 			w, _, err := tasks.OpenWAL(filepath.Join(b.TempDir(), "wal.log"), tasks.WALOptions{Sync: tasks.SyncOff})
 			if err != nil {
@@ -483,10 +524,60 @@ func benchPoolJurors(n int) []jury.Juror {
 	return out
 }
 
+// nullWriter is a minimal http.ResponseWriter for the handler-level
+// select benchmarks: the full-HTTP entries measure the wire, these
+// measure the server path itself (decode, snapshot read, cache probe or
+// engine run, response write) without httptest scaffolding dominating.
+type nullWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullWriter) WriteHeader(status int)      { w.status = status }
+
+// handlerSelectBench measures POST /v1/select at the handler level
+// against a 101-juror pool: cacheEntries 0 keeps the default
+// version-keyed response cache (every op after the first is a warm
+// hit), -1 disables it (every op recomputes the selection — the miss
+// cost the cache saves).
+func handlerSelectBench(cacheEntries int) func(b *testing.B) {
+	return func(b *testing.B) {
+		srv := server.New(server.Config{SelectCacheEntries: cacheEntries})
+		if _, err := srv.Store().Put("crowd", benchPoolJurors(101)); err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		body := []byte(`{"pool":"crowd"}`)
+		rdr := bytes.NewReader(body)
+		req := httptest.NewRequest(http.MethodPost, "/v1/select", rdr)
+		w := &nullWriter{h: make(http.Header)}
+		run := func() {
+			rdr.Reset(body)
+			req.Body = io.NopCloser(rdr)
+			req.ContentLength = int64(len(body))
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		}
+		run() // prime the cache (warm variant) and lazy pool state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	}
+}
+
 // serverBenches measures the serving path of cmd/juryd: full HTTP round
 // trips through internal/server (mirroring BenchmarkServerSelect and
-// BenchmarkServerJER in that package) and the pool store's snapshot read
-// and patch publication (BenchmarkPoolSnapshot, BenchmarkPoolPatch).
+// BenchmarkServerJER in that package), the handler-level warm/miss
+// select split (the PR 6 response cache's effect), the batch endpoints,
+// and the pool store's snapshot read and patch publication
+// (BenchmarkPoolSnapshot, BenchmarkPoolPatch).
 func serverBenches() []namedBench {
 	httpBench := func(path, body string, setup func(*server.Server)) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -523,9 +614,26 @@ func serverBenches() []namedBench {
 	if err != nil {
 		panic(err)
 	}
+	batchBody := func(items int) string {
+		var sb bytes.Buffer
+		sb.WriteString(`{"selects":[`)
+		for i := 0; i < items; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			// Distinct budgets make distinct cache keys: the batch probes
+			// (and, on the first op, fills) `items` separate entries.
+			fmt.Fprintf(&sb, `{"pool":"crowd","model":"pay","budget":%d}`, i+1)
+		}
+		sb.WriteString(`]}`)
+		return sb.String()
+	}
 	return []namedBench{
 		{"ServerSelect/altr/n101", httpBench("/v1/select", `{"pool":"crowd"}`, withPool(101))},
 		{"ServerSelect/pay/n101", httpBench("/v1/select", `{"pool":"crowd","model":"pay","budget":5}`, withPool(101))},
+		{"ServerSelect/warm/n101", handlerSelectBench(0)},
+		{"ServerSelect/miss/n101", handlerSelectBench(-1)},
+		{"ServerSelectBatch/http/n101x16", httpBench("/v1/select/batch", batchBody(16), withPool(101))},
 		{"ServerJER/n101", httpBench("/v1/jer", string(jerBody), nil)},
 		{"PoolSnapshot/n1001", func(b *testing.B) {
 			store := server.NewStore()
@@ -563,6 +671,84 @@ func serverBenches() []namedBench {
 // progress (one line per benchmark) so long runs are observable.
 func writeBenchJSON(path string, progress io.Writer) error {
 	return writeBenchSnapshot(path, benchRegistry(), progress)
+}
+
+// benchGuard pins one benchmark axis against the committed snapshot:
+// the fast-path promises PR 6 makes (a warm select is a cache probe; a
+// batch vote stays on its allocation diet) regress loudly, not silently.
+type benchGuard struct {
+	name string
+	axis string // "ns_per_op" | "allocs_per_op"
+}
+
+// regressionGuards is the -bench-check set. Warm-select guards time
+// (the cache's whole point); the vote paths guard allocations, which
+// are machine-independent and therefore tight.
+var regressionGuards = []benchGuard{
+	{"ServerSelect/warm/n101", "ns_per_op"},
+	{"ServerTaskVote/n101", "allocs_per_op"},
+	{"ServerTaskVoteBatch/n101", "allocs_per_op"},
+}
+
+// checkBenchJSON re-runs the guarded benchmarks and fails if any
+// guarded axis regressed more than tolerance (relative) against the
+// snapshot at path. One line per guard goes to out either way.
+func checkBenchJSON(path string, tolerance float64, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]benchEntry, len(snap.Benchmarks))
+	for _, e := range snap.Benchmarks {
+		baseline[e.Name] = e
+	}
+	registry := make(map[string]func(*testing.B))
+	for _, nb := range benchRegistry() {
+		registry[nb.name] = nb.fn
+	}
+	var failures []string
+	for _, g := range regressionGuards {
+		base, ok := baseline[g.name]
+		if !ok {
+			return fmt.Errorf("snapshot %s has no entry %q", path, g.name)
+		}
+		fn, ok := registry[g.name]
+		if !ok {
+			return fmt.Errorf("no benchmark named %q in the registry", g.name)
+		}
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			return fmt.Errorf("benchmark %s failed", g.name)
+		}
+		var got, want float64
+		switch g.axis {
+		case "ns_per_op":
+			got = float64(res.T.Nanoseconds()) / float64(res.N)
+			want = base.NsPerOp
+		case "allocs_per_op":
+			got = float64(res.AllocsPerOp())
+			want = float64(base.AllocsPerOp)
+		default:
+			return fmt.Errorf("unknown guard axis %q", g.axis)
+		}
+		limit := want * (1 + tolerance)
+		verdict := "ok"
+		if got > limit {
+			verdict = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s %s: %.1f exceeds %.1f (+%.0f%% over baseline %.1f)",
+					g.name, g.axis, got, limit, 100*tolerance, want))
+		}
+		fmt.Fprintf(out, "%-28s %-13s %12.1f baseline %12.1f  %s\n", g.name, g.axis, got, want, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // writeBenchSnapshot is writeBenchJSON over an explicit benchmark set.

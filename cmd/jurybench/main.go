@@ -4,6 +4,7 @@
 //
 //	jurybench [-exp table2,fig3a,...|all] [-quick] [-seed N] [-workers N] [-list]
 //	jurybench -bench-json BENCH_PR2.json
+//	jurybench -bench-check BENCH_PR6.json [-bench-tolerance 0.2]
 //
 // Each experiment prints the rows/series the corresponding paper artifact
 // reports (Table 2 and Figures 3(a)–3(i)) plus the ablation studies from
@@ -15,6 +16,11 @@
 // machine-readable snapshot — ns/op, allocs/op, B/op per benchmark — to
 // the given path. Snapshots are committed as BENCH_PR<n>.json so the hot
 // path's performance trajectory is recorded PR over PR.
+//
+// -bench-check re-runs the guarded fast-path benchmarks (warm select
+// ns/op, vote-path allocs/op) and exits non-zero if any regressed more
+// than -bench-tolerance (default +20%) against the given snapshot. CI
+// runs it against the latest committed BENCH_PR<n>.json.
 package main
 
 import (
@@ -36,17 +42,21 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "engine worker pool size (0 = all cores); results are identical for every value")
 	flag.BoolVar(&cfg.list, "list", false, "list experiment ids and exit")
 	flag.StringVar(&cfg.benchJSON, "bench-json", "", "run the tracked benchmark set and write a JSON snapshot to this path")
+	flag.StringVar(&cfg.benchCheck, "bench-check", "", "re-run the guarded benchmarks and fail on regression against this snapshot")
+	flag.Float64Var(&cfg.benchTolerance, "bench-tolerance", 0.2, "allowed relative regression for -bench-check (0.2 = +20%)")
 	flag.Parse()
 	os.Exit(runBench(cfg, os.Stdout, os.Stderr))
 }
 
 type benchConfig struct {
-	exp       string
-	quick     bool
-	seed      int64
-	workers   int
-	list      bool
-	benchJSON string
+	exp            string
+	quick          bool
+	seed           int64
+	workers        int
+	list           bool
+	benchJSON      string
+	benchCheck     string
+	benchTolerance float64
 }
 
 func runBench(cfg benchConfig, out, errOut io.Writer) int {
@@ -58,6 +68,17 @@ func runBench(cfg benchConfig, out, errOut io.Writer) int {
 	}
 	if cfg.benchJSON != "" {
 		if err := writeBenchJSON(cfg.benchJSON, out); err != nil {
+			fmt.Fprintf(errOut, "jurybench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if cfg.benchCheck != "" {
+		tol := cfg.benchTolerance
+		if tol == 0 {
+			tol = 0.2
+		}
+		if err := checkBenchJSON(cfg.benchCheck, tol, out); err != nil {
 			fmt.Fprintf(errOut, "jurybench: %v\n", err)
 			return 1
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,6 +94,61 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(progress.String(), "tiny/jer_dp_n11") {
 		t.Fatalf("no progress line: %q", progress.String())
+	}
+}
+
+func TestBenchCheck(t *testing.T) {
+	// Swap in a cheap guard so the test exercises the check mechanism,
+	// not the real (expensive) server benchmarks.
+	saved := regressionGuards
+	regressionGuards = []benchGuard{{name: "JER_DP_n101", axis: "ns_per_op"}}
+	defer func() { regressionGuards = saved }()
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	benches := []namedBench{{"JER_DP_n101", jerBench(jer.DPAlgo, 101)}}
+	if err := writeBenchSnapshot(path, benches, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Against its own fresh snapshot the guard must pass comfortably.
+	var out bytes.Buffer
+	if err := checkBenchJSON(path, 2.0, &out); err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "JER_DP_n101") || !strings.Contains(out.String(), "ok") {
+		t.Fatalf("check output missing guard line: %q", out.String())
+	}
+
+	// Shrink the committed baseline to force a regression verdict.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Benchmarks[0].NsPerOp /= 1000
+	shrunk, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, shrunk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = checkBenchJSON(path, 0.2, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("want regression failure, got %v\n%s", err, out.String())
+	}
+
+	// A snapshot missing a guarded entry is a configuration error.
+	snap.Benchmarks[0].Name = "renamed"
+	renamed, _ := json.Marshal(snap)
+	if err := os.WriteFile(path, renamed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBenchJSON(path, 0.2, io.Discard); err == nil {
+		t.Fatal("want error for snapshot missing the guarded entry")
 	}
 }
 

@@ -93,6 +93,7 @@ type config struct {
 	cacheSize   int
 	maxInflight int
 	maxQueue    int
+	selectCache int
 	timeout     time.Duration
 	maxTimeout  time.Duration
 	drain       time.Duration
@@ -114,6 +115,7 @@ func main() {
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "JER memo entries (0 = default, negative = disabled)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent evaluation requests (0 = all cores)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "queued evaluation requests before 429 shedding (0 = default, negative = no queue)")
+	flag.IntVar(&cfg.selectCache, "select-cache", 0, "version-keyed select response cache entries (0 = default, negative = disabled)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline (0 = 5s)")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "cap on request-supplied deadlines (0 = 30s)")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -179,12 +181,13 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 		}
 	}
 	srv := server.New(server.Config{
-		Engine:         eng,
-		Tasks:          store,
-		MaxInflight:    cfg.maxInflight,
-		MaxQueue:       cfg.maxQueue,
-		DefaultTimeout: cfg.timeout,
-		MaxTimeout:     cfg.maxTimeout,
+		Engine:             eng,
+		Tasks:              store,
+		MaxInflight:        cfg.maxInflight,
+		MaxQueue:           cfg.maxQueue,
+		SelectCacheEntries: cfg.selectCache,
+		DefaultTimeout:     cfg.timeout,
+		MaxTimeout:         cfg.maxTimeout,
 	})
 	for _, spec := range cfg.pools {
 		name, size, skipped, err := loadPool(store, spec)

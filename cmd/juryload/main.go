@@ -65,6 +65,7 @@ type config struct {
 	lifecycle    string
 	targetConf   float64
 	workers      int
+	batch        bool
 	trace        bool
 	quiet        bool
 	list         bool
@@ -86,6 +87,7 @@ func main() {
 	flag.StringVar(&cfg.lifecycle, "lifecycle", "", "override the lifecycle (select|task)")
 	flag.Float64Var(&cfg.targetConf, "target-confidence", 0, "override the task early-stop confidence target in (0.5, 1]; 1 = fixed jury")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel replications (0 = all cores)")
+	flag.BoolVar(&cfg.batch, "batch", false, "use the batch wire protocol: coalesced /v1/select/batch round trips (http mode) and whole-round /v1/tasks/{id}/votes/batch posts")
 	flag.BoolVar(&cfg.trace, "trace", false, "include the per-step trace in the JSON")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the human-readable summary")
 	flag.BoolVar(&cfg.list, "list", false, "list built-in presets and exit")
@@ -111,6 +113,7 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		Mode:        cfg.mode,
 		Addr:        cfg.addr,
 		Workers:     cfg.workers,
+		Batch:       cfg.batch,
 		Trace:       cfg.trace,
 		ShedRetries: cfg.shedRetries,
 	})

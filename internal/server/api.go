@@ -31,6 +31,7 @@
 package server
 
 import (
+	"encoding/json"
 	"time"
 
 	"juryselect/internal/dataio"
@@ -74,6 +75,22 @@ type SelectRequest struct {
 	// TimeoutMS optionally overrides the default per-request deadline,
 	// clamped to the configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchSelectRequest is the body of POST /v1/select/batch: up to the
+// server's batch cap of independent selects resolved in one round trip.
+// TimeoutMS bounds the whole batch; per-item timeout_ms fields are
+// ignored.
+type BatchSelectRequest struct {
+	Selects   []SelectRequest `json:"selects"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// BatchSelectResponse is the body of a successful POST /v1/select/batch.
+// Results[i] corresponds to Selects[i] and is either a SelectResponse or
+// an errorResponse ({"error": ...}); item failures never fail the batch.
+type BatchSelectResponse struct {
+	Results []json.RawMessage `json:"results"`
 }
 
 // SelectResponse is the body of a successful POST /v1/select. Selection

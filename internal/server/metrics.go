@@ -13,11 +13,13 @@ import (
 // gauges at scrape time.
 type metrics struct {
 	requests     expvar.Int // HTTP requests accepted by any /v1 handler
-	selections   expvar.Int // successful /v1/select responses
+	selections   expvar.Int // successful select items (single + batch)
+	batchSelects expvar.Int // successful /v1/select/batch responses
 	jerServed    expvar.Int // successful /v1/jer responses
 	poolWrites   expvar.Int // successful pool PUT/PATCH/DELETE
 	taskCreates  expvar.Int // successful POST /v1/tasks
-	taskVotes    expvar.Int // successful votes/declines
+	taskVotes    expvar.Int // successful votes/declines (single + batch)
+	batchVotes   expvar.Int // successful /v1/tasks/{id}/votes/batch responses
 	taskVerdicts expvar.Int // votes that closed a task with a verdict
 	shed         expvar.Int // requests rejected 429 by admission control
 	errors       expvar.Int // 5xx and 429 responses
@@ -56,12 +58,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the engine's evaluation/cache/inflight gauges (Engine.CacheStats and
 // Stats), and the admission-control occupancy.
 type metricsResponse struct {
-	Requests   int64 `json:"requests"`
-	Selections int64 `json:"selections"`
-	JERServed  int64 `json:"jer_served"`
-	PoolWrites int64 `json:"pool_writes"`
-	Shed       int64 `json:"shed"`
-	Errors     int64 `json:"errors"`
+	Requests     int64 `json:"requests"`
+	Selections   int64 `json:"selections"`
+	BatchSelects int64 `json:"batch_selects"`
+	JERServed    int64 `json:"jer_served"`
+	PoolWrites   int64 `json:"pool_writes"`
+	BatchVotes   int64 `json:"batch_votes"`
+	Shed         int64 `json:"shed"`
+	Errors       int64 `json:"errors"`
 
 	Inflight    int   `json:"inflight"`
 	MaxInflight int   `json:"max_inflight"`
@@ -75,9 +79,25 @@ type metricsResponse struct {
 
 	Pools int `json:"pools"`
 
+	// SelectCache reports the version-keyed selection cache's counters
+	// when the cache is enabled; omitted otherwise.
+	SelectCache *selectCacheMetrics `json:"select_cache,omitempty"`
+
 	// Tasks reports the task-store gauges and WAL counters when the
 	// server fronts a task store; omitted otherwise.
 	Tasks *taskMetrics `json:"tasks,omitempty"`
+}
+
+// selectCacheMetrics is the selection cache's observability block.
+// Hits counts probes served from a resident entry, Misses counts
+// computations actually performed (flight leaders), Collapsed counts
+// requests that joined another request's in-flight computation instead
+// of recomputing — the stampedes the singleflight absorbed.
+type selectCacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"`
+	Entries   int   `json:"entries"`
 }
 
 // taskMetrics is the durable task subsystem's observability block: the
@@ -121,11 +141,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			WALCompactions:   ts.Compactions,
 		}
 	}
+	var cm *selectCacheMetrics
+	if s.cache != nil {
+		cm = &selectCacheMetrics{
+			Hits:      s.cache.hits.Load(),
+			Misses:    s.cache.misses.Load(),
+			Collapsed: s.cache.collapsed.Load(),
+			Entries:   s.cache.len(),
+		}
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Requests:          s.m.requests.Value(),
 		Selections:        s.m.selections.Value(),
+		BatchSelects:      s.m.batchSelects.Value(),
 		JERServed:         s.m.jerServed.Value(),
 		PoolWrites:        s.m.poolWrites.Value(),
+		BatchVotes:        s.m.batchVotes.Value(),
 		Shed:              s.m.shed.Value(),
 		Errors:            s.m.errors.Value(),
 		Inflight:          len(s.sem),
@@ -137,6 +168,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		EngineInflight:    st.Inflight,
 		EngineWorkers:     s.eng.Workers(),
 		Pools:             s.store.Len(),
+		SelectCache:       cm,
 		Tasks:             tm,
 	})
 }

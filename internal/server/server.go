@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"juryselect/internal/core"
@@ -29,6 +31,9 @@ const (
 	// DefaultMaxBodyBytes bounds request bodies (candidate sets of about
 	// 100k jurors still fit).
 	DefaultMaxBodyBytes = 8 << 20
+	// DefaultMaxBatchItems caps how many selects (or votes) one batch
+	// request may carry.
+	DefaultMaxBatchItems = 256
 )
 
 // Config configures a Server. The zero value selects sensible defaults.
@@ -61,6 +66,17 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies. Zero selects
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// SelectCacheEntries bounds the version-keyed selection response
+	// cache (total entries, LRU-evicted). Selections are pure functions
+	// of (pool version, strategy, params), so the cache serves repeat
+	// selects against an unchanged pool without touching the engine or
+	// the encoder. Zero selects DefaultSelectCacheEntries; negative
+	// disables the cache.
+	SelectCacheEntries int
+	// MaxBatchItems caps the item count of one POST /v1/select/batch or
+	// POST /v1/tasks/{id}/votes/batch request. Zero selects
+	// DefaultMaxBatchItems.
+	MaxBatchItems int
 }
 
 // Server serves jury selection over HTTP/JSON. Construct with New, mount
@@ -76,10 +92,12 @@ type Server struct {
 	defTimeout  time.Duration
 	maxTimeout  time.Duration
 	maxBody     int64
+	maxBatch    int
 
-	sem chan struct{} // inflight slots for evaluation requests
-	m   metrics
-	mux *http.ServeMux
+	cache *selectCache  // version-keyed select responses; nil = disabled
+	sem   chan struct{} // inflight slots for evaluation requests
+	m     metrics
+	mux   *http.ServeMux
 }
 
 // New returns a Server with the given configuration.
@@ -128,11 +146,19 @@ func New(cfg Config) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
+	s.maxBatch = cfg.MaxBatchItems
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatchItems
+	}
+	if cfg.SelectCacheEntries >= 0 {
+		s.cache = newSelectCache(cfg.SelectCacheEntries)
+	}
 	s.sem = make(chan struct{}, s.maxInflight)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jer", s.counted(s.handleJER))
 	s.mux.HandleFunc("POST /v1/select", s.counted(s.handleSelect))
+	s.mux.HandleFunc("POST /v1/select/batch", s.counted(s.handleSelectBatch))
 	s.mux.HandleFunc("GET /v1/pools", s.counted(s.handlePoolList))
 	s.mux.HandleFunc("GET /v1/pools/{name}", s.counted(s.handlePoolGet))
 	s.mux.HandleFunc("PUT /v1/pools/{name}/jurors", s.counted(s.handlePoolPut))
@@ -142,6 +168,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tasks", s.counted(s.requireTasks(s.handleTaskList)))
 	s.mux.HandleFunc("GET /v1/tasks/{id}", s.counted(s.requireTasks(s.handleTaskGet)))
 	s.mux.HandleFunc("POST /v1/tasks/{id}/votes", s.counted(s.requireTasks(s.handleTaskVote)))
+	s.mux.HandleFunc("POST /v1/tasks/{id}/votes/batch", s.counted(s.requireTasks(s.handleTaskVoteBatch)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -173,8 +200,13 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// OverloadedMsg is the error body of a 429 shed by admission control.
+// Batch endpoints embed it as a per-item {"error": ...} value, so batch
+// clients match against it to recognize a shed item.
+const OverloadedMsg = "server overloaded, retry later"
+
 // errShed is returned by admit when the queue is full.
-var errShed = &httpError{status: http.StatusTooManyRequests, msg: "server overloaded, retry later"}
+var errShed = &httpError{status: http.StatusTooManyRequests, msg: OverloadedMsg}
 
 // admit reserves an inflight slot for an evaluation request, queueing up
 // to maxQueue waiters and shedding beyond that. On success the returned
@@ -225,10 +257,37 @@ func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// bufPool recycles the request-read and response-encode buffers across
+// requests: the steady-state serving paths (selects, votes) otherwise
+// re-allocate a body-sized buffer per call. Buffers that ballooned past
+// maxPooledBuf (a giant PUT) are dropped instead of pinned forever.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		buf.Reset()
+		bufPool.Put(buf)
+	}
+}
+
 // decode parses a JSON request body with a size bound and strict fields.
+// The body is read into a pooled buffer; exceeding the size bound is a
+// 413, not a 400 — the request was well-formed, just too big.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	dec := json.NewDecoder(r.Body)
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit)}
+		}
+		return badRequest("reading request body: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		return badRequest("decoding request body: %v", err)
@@ -236,12 +295,26 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error 
 	return nil
 }
 
-// writeJSON encodes a 2xx JSON response.
+// writeJSON encodes a JSON response through a pooled buffer, so an
+// encoding failure surfaces as a clean 500 instead of a torn 2xx body.
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	writeRawJSON(w, status, buf.Bytes())
+}
+
+// writeRawJSON writes a pre-encoded JSON body (the cached-select and
+// batch splice paths).
+func writeRawJSON(w http.ResponseWriter, status int, raw []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(body) //nolint:errcheck // headers are already out
+	w.Write(raw) //nolint:errcheck // headers are already out
 }
 
 // fail maps an error to its HTTP status and writes the JSON error body.
@@ -311,6 +384,147 @@ func (s *Server) handleJER(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, JERResponse{JER: v, Size: len(req.ErrorRates)})
 }
 
+// selectPlan is one validated select: the parsed request plus its
+// resolved candidate source. A named pool resolves to its current
+// snapshot at parse time, once: everything downstream — including the
+// response's pool_version and the cache key — reads that one immutable
+// snapshot, no matter how many PATCHes land meanwhile.
+type selectPlan struct {
+	req   *SelectRequest
+	model string
+	kind  selectKind
+	pool  *Pool        // nil for inline candidates
+	cands []jury.Juror // inline candidates, validated; nil when pool is set
+}
+
+// parseSelect validates one select request and resolves its candidate
+// source. It performs no evaluation work and takes no admission slot.
+func (s *Server) parseSelect(req *SelectRequest) (selectPlan, error) {
+	p := selectPlan{req: req, model: req.Model}
+	if p.model == "" {
+		p.model = "altr"
+	}
+	if p.model != "altr" && p.model != "pay" {
+		return p, badRequest("unknown model %q (want altr or pay)", p.model)
+	}
+	switch {
+	case req.Pool != "" && req.Candidates != nil:
+		return p, badRequest("pool and candidates are mutually exclusive")
+	case req.Pool != "":
+		pool, ok := s.store.Get(req.Pool)
+		if !ok {
+			return p, fmt.Errorf("%w: %q", ErrPoolNotFound, req.Pool)
+		}
+		p.pool = pool
+	case len(req.Candidates) > 0:
+		p.cands = make([]jury.Juror, len(req.Candidates))
+		for i, c := range req.Candidates {
+			p.cands[i] = c.Juror()
+		}
+		// Inline candidates are client input: validate at the boundary so
+		// malformed jurors answer 400, before a queue slot is spent.
+		if err := core.ValidateCandidates(p.cands); err != nil {
+			return p, badRequest("%v", err)
+		}
+	default:
+		return p, badRequest("request must name a pool or carry candidates")
+	}
+	switch {
+	case p.model == "pay" && req.Budget < 0:
+		return p, badRequest("budget must be non-negative, got %g", req.Budget)
+	case p.model == "altr" && (req.Budget != 0 || req.Exact):
+		// Silently ignoring these and echoing the budget back would let a
+		// client believe a constraint was applied when it was not.
+		return p, badRequest("budget and exact apply only to model \"pay\"")
+	}
+	switch {
+	case p.model == "altr":
+		p.kind = kindAltr
+	case req.Exact:
+		p.kind = kindPayExact
+		n := len(p.cands)
+		if p.pool != nil {
+			n = len(p.pool.Sorted())
+		}
+		if n > jury.MaxExactCandidates {
+			return p, badRequest("exact enumeration accepts at most %d candidates, got %d",
+				jury.MaxExactCandidates, n)
+		}
+	default:
+		p.kind = kindPay
+	}
+	return p, nil
+}
+
+// computeSelectRaw runs the engine for one plan and returns the fully
+// encoded JSON response — byte-identical to what writeJSON would emit
+// for the same SelectResponse, so cached and uncached responses are
+// indistinguishable on the wire.
+func (s *Server) computeSelectRaw(ctx context.Context, p selectPlan) ([]byte, error) {
+	var sel jury.Selection
+	var err error
+	switch {
+	case p.kind == kindAltr && p.pool != nil:
+		// The snapshot is validated and ε-sorted at ingest: the hot path
+		// runs with no re-validation, no sort, and no lock.
+		sel, err = s.eng.SelectAltruisticSnapshot(ctx, p.pool.Sorted())
+	case p.kind == kindAltr:
+		sel, err = s.eng.SelectAltruisticSnapshot(ctx, core.SortedByErrorRate(p.cands))
+	default: // pay
+		cands := p.cands
+		if p.pool != nil {
+			cands = p.pool.Sorted()
+		}
+		if p.kind == kindPayExact {
+			sel, err = s.eng.SelectExactContext(ctx, cands, p.req.Budget)
+		} else {
+			sel, err = s.eng.SelectBudgetedContext(ctx, cands, p.req.Budget)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := SelectResponse{Selection: dataio.NewSelectionJSON(p.model, p.req.Budget, sel)}
+	if p.pool != nil {
+		resp.Pool = p.pool.Name
+		resp.PoolVersion = p.pool.Version
+	}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// selectRaw resolves one plan to response bytes. Pool-backed selects go
+// through the version-keyed cache: a warm key returns resident bytes
+// without touching admission control, the engine, or the encoder; a
+// cold key computes once under singleflight with only the flight leader
+// holding an admission slot. Inline-candidate selects (arbitrary client
+// payloads, no version to key on) always compute.
+func (s *Server) selectRaw(ctx context.Context, p selectPlan) ([]byte, error) {
+	if p.pool != nil && s.cache != nil {
+		key := selectKey{pool: p.pool.Name, version: p.pool.Version, kind: p.kind, budget: p.req.Budget}
+		if raw, ok := s.cache.get(key); ok {
+			return raw, nil
+		}
+		return s.cache.do(key, func() ([]byte, error) {
+			release, err := s.admit(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			return s.computeSelectRaw(ctx, p)
+		})
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.computeSelectRaw(ctx, p)
+}
+
 // handleSelect serves POST /v1/select: pick the minimum-JER jury from a
 // named pool snapshot or an inline candidate set.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -324,103 +538,76 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	model := req.Model
-	if model == "" {
-		model = "altr"
-	}
-	if model != "altr" && model != "pay" {
-		s.fail(w, badRequest("unknown model %q (want altr or pay)", model))
-		return
-	}
-
-	// Resolve the candidate set. A named pool resolves to its current
-	// snapshot here, once: everything after this line — including the
-	// response's pool_version — reads that one immutable snapshot, no
-	// matter how many PATCHes land meanwhile.
-	var (
-		pool  *Pool
-		cands []jury.Juror
-	)
-	switch {
-	case req.Pool != "" && req.Candidates != nil:
-		s.fail(w, badRequest("pool and candidates are mutually exclusive"))
-		return
-	case req.Pool != "":
-		p, ok := s.store.Get(req.Pool)
-		if !ok {
-			s.fail(w, fmt.Errorf("%w: %q", ErrPoolNotFound, req.Pool))
-			return
-		}
-		pool = p
-	case len(req.Candidates) > 0:
-		cands = make([]jury.Juror, len(req.Candidates))
-		for i, c := range req.Candidates {
-			cands[i] = c.Juror()
-		}
-		// Inline candidates are client input: validate at the boundary so
-		// malformed jurors answer 400, before a queue slot is spent.
-		if err := core.ValidateCandidates(cands); err != nil {
-			s.fail(w, badRequest("%v", err))
-			return
-		}
-	default:
-		s.fail(w, badRequest("request must name a pool or carry candidates"))
-		return
-	}
-	switch {
-	case model == "pay" && req.Budget < 0:
-		s.fail(w, badRequest("budget must be non-negative, got %g", req.Budget))
-		return
-	case model == "altr" && (req.Budget != 0 || req.Exact):
-		// Silently ignoring these and echoing the budget back would let a
-		// client believe a constraint was applied when it was not.
-		s.fail(w, badRequest("budget and exact apply only to model \"pay\""))
-		return
-	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), d)
-	defer cancel()
-	release, err := s.admit(ctx)
+	plan, err := s.parseSelect(&req)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	defer release()
-
-	var sel jury.Selection
-	switch {
-	case model == "altr" && pool != nil:
-		// The snapshot is validated and ε-sorted at ingest: the hot path
-		// runs with no re-validation, no sort, and no lock.
-		sel, err = s.eng.SelectAltruisticSnapshot(ctx, pool.Sorted())
-	case model == "altr":
-		sel, err = s.eng.SelectAltruisticSnapshot(ctx, core.SortedByErrorRate(cands))
-	default: // pay
-		if pool != nil {
-			cands = pool.Sorted()
-		}
-		if req.Exact {
-			if len(cands) > jury.MaxExactCandidates {
-				err = badRequest("exact enumeration accepts at most %d candidates, got %d",
-					jury.MaxExactCandidates, len(cands))
-				break
-			}
-			sel, err = s.eng.SelectExactContext(ctx, cands, req.Budget)
-		} else {
-			sel, err = s.eng.SelectBudgetedContext(ctx, cands, req.Budget)
-		}
-	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	raw, err := s.selectRaw(ctx, plan)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.m.selections.Add(1)
-	resp := SelectResponse{Selection: dataio.NewSelectionJSON(model, req.Budget, sel)}
-	if pool != nil {
-		resp.Pool = pool.Name
-		resp.PoolVersion = pool.Version
+	writeRawJSON(w, http.StatusOK, raw)
+}
+
+// handleSelectBatch serves POST /v1/select/batch: N selects in one
+// round trip, each resolved independently through the same parse →
+// cache → compute path as /v1/select. Per-item results are spliced from
+// their pre-encoded bytes — a batch of warm keys never touches an
+// encoder. Item failures are per-item {"error": ...} objects, not a
+// batch failure, so one bad select cannot void its neighbours' work.
+func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSelectRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if len(req.Selects) == 0 {
+		s.fail(w, badRequest("selects must be non-empty"))
+		return
+	}
+	if len(req.Selects) > s.maxBatch {
+		s.fail(w, badRequest("batch accepts at most %d selects, got %d", s.maxBatch, len(req.Selects)))
+		return
+	}
+	d, err := s.deadline(req.TimeoutMS)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBuf(buf)
+	buf.WriteString(`{"results":[`)
+	for i := range req.Selects {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		plan, err := s.parseSelect(&req.Selects[i])
+		var raw []byte
+		if err == nil {
+			raw, err = s.selectRaw(ctx, plan)
+		}
+		if err != nil {
+			item, merr := json.Marshal(errorResponse{Error: err.Error()})
+			if merr != nil {
+				item = []byte(`{"error":"encoding item error"}`)
+			}
+			buf.Write(item)
+			continue
+		}
+		s.m.selections.Add(1)
+		buf.Write(bytes.TrimRight(raw, "\n"))
+	}
+	buf.WriteString("]}\n")
+	s.m.batchSelects.Add(1)
+	writeRawJSON(w, http.StatusOK, buf.Bytes())
 }
 
 // handlePoolList serves GET /v1/pools.

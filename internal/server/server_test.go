@@ -511,18 +511,18 @@ func TestConcurrentSelectsDuringPatches(t *testing.T) {
 	wg.Wait()
 }
 
-func TestRequestBodyTooLargeIs400(t *testing.T) {
+func TestRequestBodyTooLargeIs413(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxBodyBytes: 128})
 	big := JERRequest{ErrorRates: make([]float64, 200)}
 	for i := range big.ErrorRates {
 		big.ErrorRates[i] = 0.25
 	}
 	var errResp errorResponse
-	if code := do(t, http.MethodPost, ts.URL+"/v1/jer", big, &errResp); code != http.StatusBadRequest {
+	if code := do(t, http.MethodPost, ts.URL+"/v1/jer", big, &errResp); code != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body: status %d (%s)", code, errResp.Error)
 	}
-	if !strings.Contains(errResp.Error, "large") {
-		t.Errorf("error does not mention size: %q", errResp.Error)
+	if !strings.Contains(errResp.Error, "128-byte limit") {
+		t.Errorf("error does not mention the limit: %q", errResp.Error)
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -165,6 +166,111 @@ func (s *Server) handleTaskVote(w http.ResponseWriter, r *http.Request) {
 		s.m.taskVerdicts.Add(1)
 	}
 	writeJSON(w, http.StatusOK, TaskResponse{Task: view})
+}
+
+// TaskVoteBatchRequest is the body of POST /v1/tasks/{id}/votes/batch:
+// several jurors' votes (or declines) on one task in a single round
+// trip, applied in order.
+type TaskVoteBatchRequest struct {
+	Votes []TaskVoteRequest `json:"votes"`
+}
+
+// TaskVoteBatchResult is one batch item's outcome. Exactly one of
+// Applied, Skipped, or Error describes it: Skipped marks votes that
+// arrived after the task closed (sequential early stop decided it
+// mid-batch) — expected under the paper's voting model, not a failure.
+type TaskVoteBatchResult struct {
+	JurorID string `json:"juror_id"`
+	Applied bool   `json:"applied,omitempty"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// TaskVoteBatchResponse is the body of a successful batch vote: the
+// per-item outcomes and the task view after the last applied item.
+type TaskVoteBatchResponse struct {
+	Results []TaskVoteBatchResult `json:"results"`
+	Task    tasks.View            `json:"task"`
+}
+
+// handleTaskVoteBatch serves POST /v1/tasks/{id}/votes/batch: apply a
+// batch of votes sequentially — the store's early-stop semantics are
+// order-dependent, so the batch preserves the client's order exactly.
+// Once the task closes (a vote decided it, or it was already closed),
+// the remaining items are skipped without touching the store. Item
+// validation failures are per-item errors; only an unknown task fails
+// the whole batch.
+func (s *Server) handleTaskVoteBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req TaskVoteBatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Votes) == 0 {
+		s.fail(w, badRequest("votes must be non-empty"))
+		return
+	}
+	if len(req.Votes) > s.maxBatch {
+		s.fail(w, badRequest("batch accepts at most %d votes, got %d", s.maxBatch, len(req.Votes)))
+		return
+	}
+	resp := TaskVoteBatchResponse{Results: make([]TaskVoteBatchResult, len(req.Votes))}
+	var (
+		view    tasks.View
+		applied bool
+		closed  bool
+	)
+	for i, v := range req.Votes {
+		res := TaskVoteBatchResult{JurorID: v.JurorID}
+		switch {
+		case closed:
+			res.Skipped = true
+		case v.JurorID == "":
+			res.Error = "juror_id must be set"
+		case v.Decline && v.Vote != nil:
+			res.Error = "vote and decline are mutually exclusive"
+		case !v.Decline && v.Vote == nil:
+			res.Error = "body must carry vote or decline"
+		default:
+			var err error
+			if v.Decline {
+				view, err = s.tasks.Decline(id, v.JurorID)
+			} else {
+				view, err = s.tasks.Vote(id, v.JurorID, *v.Vote)
+			}
+			switch {
+			case errors.Is(err, tasks.ErrTaskNotFound):
+				s.fail(w, err)
+				return
+			case errors.Is(err, tasks.ErrTaskClosed):
+				res.Skipped = true
+				closed = true
+			case err != nil:
+				res.Error = err.Error()
+			default:
+				applied = true
+				res.Applied = true
+				s.m.taskVotes.Add(1)
+				if view.Status == tasks.StatusDecided && view.Verdict != nil {
+					s.m.taskVerdicts.Add(1)
+					closed = true
+				}
+			}
+		}
+		resp.Results[i] = res
+	}
+	if !applied {
+		v, err := s.tasks.Get(id)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		view = v
+	}
+	resp.Task = view
+	s.m.batchVotes.Add(1)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // requireTasks guards the task routes when the server was built without

@@ -60,6 +60,23 @@ type taskOutcome struct {
 	LatencyNS int64
 }
 
+// voteOp is one item of a TaskVoteBatch call: a vote or a decline.
+type voteOp struct {
+	JurorID string
+	Vote    bool // meaningful only when Decline is false
+	Decline bool
+}
+
+// voteResult is one batch item's outcome, mirroring the wire form:
+// Applied means the store recorded it, Skipped means the task closed
+// before the item's turn (expected under early stop), Err carries a
+// per-item rejection.
+type voteResult struct {
+	Applied bool
+	Skipped bool
+	Err     string
+}
+
 // taskProgress is the task state after one vote or decline.
 type taskProgress struct {
 	// Closed reports a terminal status; Decided distinguishes a verdict
@@ -121,6 +138,11 @@ type backend interface {
 	// deterministic stand-in for a wall-clock timeout), pulling in the
 	// next-best replacement.
 	TaskDecline(ctx context.Context, id, juror string) (taskProgress, error)
+	// TaskVoteBatch applies a whole invitation round in order with the
+	// semantics of POST /v1/tasks/{id}/votes/batch: items after the task
+	// closes are skipped, and the returned progress reflects the task
+	// after the last applied item. Results correspond 1:1 to ops.
+	TaskVoteBatch(ctx context.Context, id string, ops []voteOp) ([]voteResult, taskProgress, error)
 	// DeletePool drops the pool (end-of-replication cleanup).
 	DeletePool(ctx context.Context, name string) error
 	// Close releases client resources.
@@ -199,6 +221,53 @@ func (lb *localBackend) TaskDecline(_ context.Context, id, juror string) (taskPr
 		return taskProgress{}, err
 	}
 	return progressFromView(view), nil
+}
+
+// TaskVoteBatch mirrors internal/server.handleTaskVoteBatch exactly —
+// sequential application, skip-after-close, per-item errors — so the
+// in-process and HTTP backends report identical batch outcomes.
+func (lb *localBackend) TaskVoteBatch(_ context.Context, id string, ops []voteOp) ([]voteResult, taskProgress, error) {
+	results := make([]voteResult, len(ops))
+	var (
+		view    tasks.View
+		applied bool
+		closed  bool
+	)
+	for i, op := range ops {
+		if closed {
+			results[i].Skipped = true
+			continue
+		}
+		var err error
+		if op.Decline {
+			view, err = lb.tasks.Decline(id, op.JurorID)
+		} else {
+			view, err = lb.tasks.Vote(id, op.JurorID, op.Vote)
+		}
+		switch {
+		case errors.Is(err, tasks.ErrTaskNotFound):
+			return nil, taskProgress{}, err
+		case errors.Is(err, tasks.ErrTaskClosed):
+			results[i].Skipped = true
+			closed = true
+		case err != nil:
+			results[i].Err = err.Error()
+		default:
+			applied = true
+			results[i].Applied = true
+			if view.Status == tasks.StatusDecided && view.Verdict != nil {
+				closed = true
+			}
+		}
+	}
+	if !applied {
+		v, err := lb.tasks.Get(id)
+		if err != nil {
+			return nil, taskProgress{}, err
+		}
+		view = v
+	}
+	return results, progressFromView(view), nil
 }
 
 func (lb *localBackend) Select(ctx context.Context, name string, sc Scenario) (selectOutcome, error) {

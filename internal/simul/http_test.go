@@ -142,7 +142,10 @@ func TestTaskLifecycleHTTPMatchesInProcess(t *testing.T) {
 // absorbed as Retry-After backoffs or recorded as shed steps, and the
 // step accounting still partitions.
 func TestOverloadShedsGracefully(t *testing.T) {
-	srv := server.New(server.Config{MaxInflight: 1, MaxQueue: -1})
+	// The select cache would absorb the hammer (every round trip after
+	// the first is a version-keyed hit that bypasses admission), so this
+	// test disables it: overload shedding is about uncacheable work.
+	srv := server.New(server.Config{MaxInflight: 1, MaxQueue: -1, SelectCacheEntries: -1})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 

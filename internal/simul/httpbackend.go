@@ -30,6 +30,10 @@ type httpBackend struct {
 	base   string
 	client *http.Client
 
+	// batcher, when set, coalesces this backend's selects with other
+	// replications' into POST /v1/select/batch round trips (batch mode).
+	batcher *selectBatcher
+
 	// MaxShedRetries bounds the 429 retry budget per request.
 	maxShedRetries int
 	// maxRetryAfter caps a server-suggested backoff.
@@ -151,8 +155,13 @@ func (hb *httpBackend) Select(ctx context.Context, name string, sc Scenario) (se
 	var retried int
 	for attempt := 0; ; attempt++ {
 		var resp server.SelectResponse
+		var err error
 		start := time.Now()
-		_, err := hb.doJSON(ctx, http.MethodPost, "/v1/select", req, &resp, http.StatusOK)
+		if hb.batcher != nil {
+			resp, err = hb.batcher.do(ctx, req)
+		} else {
+			_, err = hb.doJSON(ctx, http.MethodPost, "/v1/select", req, &resp, http.StatusOK)
+		}
 		latency := time.Since(start).Nanoseconds()
 		if err == nil {
 			out := selectOutcome{
@@ -249,6 +258,30 @@ func (hb *httpBackend) TaskDecline(ctx context.Context, id, juror string) (taskP
 		return taskProgress{}, err
 	}
 	return progressFromView(resp.Task), nil
+}
+
+func (hb *httpBackend) TaskVoteBatch(ctx context.Context, id string, ops []voteOp) ([]voteResult, taskProgress, error) {
+	req := server.TaskVoteBatchRequest{Votes: make([]server.TaskVoteRequest, len(ops))}
+	for i, op := range ops {
+		req.Votes[i] = server.TaskVoteRequest{JurorID: op.JurorID, Decline: op.Decline}
+		if !op.Decline {
+			v := op.Vote
+			req.Votes[i].Vote = &v
+		}
+	}
+	var resp server.TaskVoteBatchResponse
+	_, err := hb.doJSON(ctx, http.MethodPost, "/v1/tasks/"+id+"/votes/batch", req, &resp, http.StatusOK)
+	if err != nil {
+		return nil, taskProgress{}, err
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, taskProgress{}, fmt.Errorf("simul: batch vote: %d results for %d votes", len(resp.Results), len(ops))
+	}
+	results := make([]voteResult, len(resp.Results))
+	for i, r := range resp.Results {
+		results[i] = voteResult{Applied: r.Applied, Skipped: r.Skipped, Err: r.Error}
+	}
+	return results, progressFromView(resp.Task), nil
 }
 
 func (hb *httpBackend) DeletePool(ctx context.Context, name string) error {

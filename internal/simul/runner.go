@@ -37,6 +37,14 @@ type Options struct {
 	Workers int
 	// Trace includes the full per-step record stream in the report.
 	Trace bool
+	// Batch switches to the batch wire protocol: task votes post whole
+	// invitation rounds through POST /v1/tasks/{id}/votes/batch, and in
+	// HTTP mode concurrent selects from replication workers coalesce
+	// into POST /v1/select/batch round trips. Batch mode draws a round's
+	// availability and votes upfront, so its trajectories differ from
+	// single-shot mode — but stay deterministic and identical between
+	// the in-process and HTTP backends at the same setting.
+	Batch bool
 	// Client overrides the HTTP client (tests; HTTP mode only).
 	Client *http.Client
 	// Engine overrides the shared JER engine (tests and benchmarks).
@@ -81,9 +89,16 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		workers = sc.Replications
 	}
 
+	// One batcher spans every replication worker: select coalescing only
+	// pays off across concurrent backends sharing round trips.
+	var sb *selectBatcher
+	if mode == ModeHTTP && opts.Batch {
+		sb = newSelectBatcher(opts.Addr, opts.Client)
+	}
 	newBackend := func() backend {
 		if mode == ModeHTTP {
 			hb := newHTTPBackend(opts.Addr, opts.Client)
+			hb.batcher = sb
 			if opts.ShedRetries > 0 {
 				hb.maxShedRetries = opts.ShedRetries
 			}
@@ -117,7 +132,7 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 					return
 				}
 				be := newBackend()
-				res, err := runReplication(runCtx, sc, rep, be, eng, opts.Trace)
+				res, err := runReplication(runCtx, sc, rep, be, eng, opts.Batch, opts.Trace)
 				be.Close() //nolint:errcheck
 				results[rep], errs[rep] = res, err
 				if err != nil {

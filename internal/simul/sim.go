@@ -21,9 +21,9 @@ import (
 // fixed order, and the backend consumes none — so the in-process and
 // HTTP backends walk identical trajectories until the first shed
 // request.
-func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *jury.Engine, trace bool) (RepResult, error) {
+func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *jury.Engine, batch, trace bool) (RepResult, error) {
 	if sc.Lifecycle == LifecycleTask {
-		return runTaskReplication(ctx, sc, rep, be, eng, trace)
+		return runTaskReplication(ctx, sc, rep, be, eng, batch, trace)
 	}
 	w, err := newWorld(sc, rep)
 	if err != nil {

@@ -24,7 +24,7 @@ import (
 // the select loop uses, and both backends expose identical invitation
 // orders, so the in-process and HTTP trajectories are step-identical
 // until the first shed request.
-func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *jury.Engine, trace bool) (RepResult, error) {
+func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *jury.Engine, batch, trace bool) (RepResult, error) {
 	w, err := newWorld(sc, rep)
 	if err != nil {
 		return RepResult{}, err
@@ -91,45 +91,24 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 
 		// 4. Walk the invitation queue: availability decides vote vs
 		// decline; declines pull replacements onto the queue's tail. The
-		// loop ends the moment the task closes, so early stop leaves the
-		// rest of the queue untouched — votes never drawn, never paid.
+		// walk ends the moment the task closes. Sequential mode draws and
+		// posts one invitee at a time, so early stop leaves the rest of
+		// the queue untouched — votes never drawn, never paid. Batch mode
+		// draws a whole round upfront and posts it in one round trip;
+		// votes landing after an early stop come back skipped.
 		queue := append([]invitee(nil), out.Invited...)
 		var (
 			responders []string
 			votesCast  []bool
 			final      taskProgress
 		)
-		for i := 0; i < len(queue); i++ {
-			j := queue[i]
-			var prog taskProgress
-			if w.avail.Bernoulli(sc.Availability) {
-				wj, ok := w.find(j.ID)
-				if !ok {
-					return RepResult{}, fmt.Errorf("simul: step %d: invitee %q vanished", step, j.ID)
-				}
-				v := truth
-				if w.votes.Bernoulli(wj.TrueRate) {
-					v = !truth
-				}
-				prog, err = be.TaskVote(ctx, out.ID, j.ID, v)
-				if err != nil {
-					return RepResult{}, fmt.Errorf("simul: step %d: vote: %w", step, err)
-				}
-				responders = append(responders, j.ID)
-				votesCast = append(votesCast, v)
-			} else {
-				prog, err = be.TaskDecline(ctx, out.ID, j.ID)
-				if err != nil {
-					return RepResult{}, fmt.Errorf("simul: step %d: decline: %w", step, err)
-				}
-			}
-			if len(prog.Invited) > len(queue) {
-				queue = append(queue, prog.Invited[len(queue):]...)
-			}
-			final = prog
-			if prog.Closed {
-				break
-			}
+		walk := walkQueueSequential
+		if batch {
+			walk = walkQueueBatch
+		}
+		queue, responders, votesCast, final, err = walk(ctx, sc, w, be, out.ID, truth, queue)
+		if err != nil {
+			return RepResult{}, fmt.Errorf("simul: step %d: %w", step, err)
 		}
 		decided := final.Decided
 		correct := decided && final.VerdictYes == truth
@@ -226,4 +205,110 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 		res.Trace = records
 	}
 	return res, nil
+}
+
+// walkQueueSequential animates one task's invitation queue one invitee
+// per round trip, drawing availability and votes lazily — the draw for
+// invitee i happens only if the task is still open when their turn
+// comes. Returns the grown queue, the jurors whose votes were recorded
+// (with the votes), and the final task progress.
+func walkQueueSequential(ctx context.Context, sc Scenario, w *world, be backend, id string, truth bool, queue []invitee) ([]invitee, []string, []bool, taskProgress, error) {
+	var (
+		responders []string
+		votesCast  []bool
+		final      taskProgress
+	)
+	for i := 0; i < len(queue); i++ {
+		j := queue[i]
+		var prog taskProgress
+		var err error
+		if w.avail.Bernoulli(sc.Availability) {
+			wj, ok := w.find(j.ID)
+			if !ok {
+				return queue, nil, nil, final, fmt.Errorf("invitee %q vanished", j.ID)
+			}
+			v := truth
+			if w.votes.Bernoulli(wj.TrueRate) {
+				v = !truth
+			}
+			prog, err = be.TaskVote(ctx, id, j.ID, v)
+			if err != nil {
+				return queue, nil, nil, final, fmt.Errorf("vote: %w", err)
+			}
+			responders = append(responders, j.ID)
+			votesCast = append(votesCast, v)
+		} else {
+			prog, err = be.TaskDecline(ctx, id, j.ID)
+			if err != nil {
+				return queue, nil, nil, final, fmt.Errorf("decline: %w", err)
+			}
+		}
+		if len(prog.Invited) > len(queue) {
+			queue = append(queue, prog.Invited[len(queue):]...)
+		}
+		final = prog
+		if prog.Closed {
+			break
+		}
+	}
+	return queue, responders, votesCast, final, nil
+}
+
+// walkQueueBatch animates the queue in rounds: every not-yet-visited
+// invitee's availability and vote are drawn upfront (in queue order,
+// from the same streams sequential mode uses) and posted as one
+// TaskVoteBatch; replacements invited by the round's declines form the
+// next round. Drawing a round upfront consumes more stream draws than
+// the lazy sequential walk, so batch mode is its own deterministic
+// trajectory — identical between the in-process and HTTP backends, but
+// not comparable step-for-step with sequential mode. Only votes the
+// store actually recorded count as responses; votes skipped by an
+// early stop mid-batch were never cast.
+func walkQueueBatch(ctx context.Context, sc Scenario, w *world, be backend, id string, truth bool, queue []invitee) ([]invitee, []string, []bool, taskProgress, error) {
+	var (
+		responders []string
+		votesCast  []bool
+		final      taskProgress
+	)
+	for start := 0; start < len(queue); {
+		round := queue[start:]
+		ops := make([]voteOp, len(round))
+		for i, j := range round {
+			if w.avail.Bernoulli(sc.Availability) {
+				wj, ok := w.find(j.ID)
+				if !ok {
+					return queue, nil, nil, final, fmt.Errorf("invitee %q vanished", j.ID)
+				}
+				v := truth
+				if w.votes.Bernoulli(wj.TrueRate) {
+					v = !truth
+				}
+				ops[i] = voteOp{JurorID: j.ID, Vote: v}
+			} else {
+				ops[i] = voteOp{JurorID: j.ID, Decline: true}
+			}
+		}
+		results, prog, err := be.TaskVoteBatch(ctx, id, ops)
+		if err != nil {
+			return queue, nil, nil, final, fmt.Errorf("batch vote: %w", err)
+		}
+		for k, r := range results {
+			if r.Err != "" {
+				return queue, nil, nil, final, fmt.Errorf("batch vote item %q: %s", ops[k].JurorID, r.Err)
+			}
+			if r.Applied && !ops[k].Decline {
+				responders = append(responders, ops[k].JurorID)
+				votesCast = append(votesCast, ops[k].Vote)
+			}
+		}
+		start = len(queue)
+		if len(prog.Invited) > len(queue) {
+			queue = append(queue, prog.Invited[len(queue):]...)
+		}
+		final = prog
+		if prog.Closed {
+			break
+		}
+	}
+	return queue, responders, votesCast, final, nil
 }
