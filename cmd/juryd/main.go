@@ -7,7 +7,7 @@
 //	juryd [-addr :8080] [-pool name=jurors.csv ...] [-workers N]
 //	      [-cache N] [-max-inflight N] [-max-queue N]
 //	      [-timeout 5s] [-max-timeout 30s] [-drain 10s] [-drain-delay 0s]
-//	      [-wal-dir DIR] [-fsync batch] [-compact-every N]
+//	      [-wal-dir DIR] [-fsync batch] [-compact-every N] [-task-shards N]
 //	      [-sweep 1s] [-juror-timeout 60s] [-task-expiry 1h]
 //
 // Endpoints:
@@ -102,6 +102,7 @@ type config struct {
 	walDir       string
 	fsync        string
 	compactEvery int
+	taskShards   int
 	sweep        time.Duration
 	jurorTimeout time.Duration
 	taskExpiry   time.Duration
@@ -123,6 +124,7 @@ func main() {
 	flag.StringVar(&cfg.walDir, "wal-dir", "", "directory for the task/pool write-ahead log (empty = ephemeral store)")
 	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL durability: always, batch, or off")
 	flag.IntVar(&cfg.compactEvery, "compact-every", 0, "WAL records between snapshot compactions (0 = default, negative = never)")
+	flag.IntVar(&cfg.taskShards, "task-shards", 0, "task store shard count, rounded up to a power of two (0 = default)")
 	flag.DurationVar(&cfg.sweep, "sweep", time.Second, "juror-timeout/expiry sweep period (0 = no sweeper)")
 	flag.DurationVar(&cfg.jurorTimeout, "juror-timeout", 0, "default juror response timeout (0 = 60s)")
 	flag.DurationVar(&cfg.taskExpiry, "task-expiry", 0, "default task expiry (0 = 1h)")
@@ -165,6 +167,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 		Sync:                syncMode,
 		Engine:              eng,
 		CompactEvery:        cfg.compactEvery,
+		Shards:              cfg.taskShards,
 		DefaultJurorTimeout: cfg.jurorTimeout,
 		DefaultExpiry:       cfg.taskExpiry,
 	})
@@ -174,8 +177,8 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 	defer store.Close() //nolint:errcheck // re-closed explicitly after drain
 	if store.Durable() {
 		rec := store.Recovery()
-		logger.Printf("wal %s: recovered %d records (%d pools, %d tasks, snapshot=%v)",
-			cfg.walDir, rec.Records, rec.Pools, rec.Tasks, rec.SnapshotLoaded)
+		logger.Printf("wal %s: recovered %d records in %s (%d pools, %d tasks, snapshot=%v)",
+			cfg.walDir, rec.Records, rec.Duration.Round(time.Microsecond), rec.Pools, rec.Tasks, rec.SnapshotLoaded)
 		if rec.TornBytes > 0 {
 			logger.Printf("wal: truncated %d-byte torn tail (crash mid-write)", rec.TornBytes)
 		}

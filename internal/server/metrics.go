@@ -118,6 +118,24 @@ type taskMetrics struct {
 	WALFsyncP99NS    int64 `json:"wal_fsync_p99_ns"`
 	WALReplayRecords int64 `json:"wal_replay_records"`
 	WALCompactions   int64 `json:"wal_compactions"`
+
+	// Write-path concurrency health (PR 7): Shards is the configured
+	// shard count and ShardContention the running count of mutations
+	// that found their shard's mutex held — near zero when traffic
+	// spreads across tasks, climbing when it piles onto one.
+	Shards          int   `json:"shards"`
+	ShardContention int64 `json:"shard_contention"`
+	// WALCommitQueueDepth is the pipelined committer's backlog (records
+	// appended but not yet durable) at scrape time.
+	WALCommitQueueDepth int64 `json:"wal_commit_queue_depth"`
+	// WALFsyncBatchHist buckets records acknowledged per fsync: bucket
+	// i counts fsyncs covering ≤ 2^i records, last bucket open-ended.
+	// Load concentrating in bucket 0 means the group commit is not
+	// grouping.
+	WALFsyncBatchHist []int64 `json:"wal_fsync_batch_hist"`
+	// WALReplayNS is the wall-clock cost of the last boot's recovery
+	// (snapshot load + replay).
+	WALReplayNS int64 `json:"wal_replay_ns"`
 }
 
 // handleMetrics serves GET /metrics.
@@ -139,6 +157,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			WALFsyncP99NS:    ts.WAL.FsyncP99NS,
 			WALReplayRecords: ts.WAL.ReplayRecords,
 			WALCompactions:   ts.Compactions,
+
+			Shards:              ts.Shards,
+			ShardContention:     ts.ShardContention,
+			WALCommitQueueDepth: ts.WAL.QueueDepth,
+			WALFsyncBatchHist:   ts.WAL.FsyncBatchSizes[:],
+			WALReplayNS:         s.tasks.Recovery().Duration.Nanoseconds(),
 		}
 	}
 	var cm *selectCacheMetrics

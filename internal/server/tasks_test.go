@@ -250,3 +250,69 @@ func TestPoolWritesJournaledThroughTaskStore(t *testing.T) {
 		}
 	}
 }
+
+// TestTaskMetricsExposeWritePathHealth asserts the PR 7 observability
+// block: shard configuration and contention, the pipelined committer's
+// queue depth and fsync batch-size histogram, and the last boot's replay
+// duration all surface on /metrics.
+func TestTaskMetricsExposeWritePathHealth(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*tasks.Store, *httptest.Server) {
+		ts, err := tasks.Open(tasks.Config{Dir: dir, Sync: tasks.SyncBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(New(Config{Tasks: ts}).Handler())
+		return ts, hs
+	}
+	st, hs := open()
+	doTaskJSON(t, http.MethodPut, hs.URL+"/v1/pools/crowd/jurors", PutJurorsRequest{Jurors: []dataio.JurorJSON{
+		jurorJSONFor("j00", 0.1, 0), jurorJSONFor("j01", 0.2, 0), jurorJSONFor("j02", 0.3, 0),
+	}}, http.StatusOK, nil)
+	var created TaskResponse
+	doTaskJSON(t, http.MethodPost, hs.URL+"/v1/tasks", TaskCreateRequest{Pool: "crowd"}, http.StatusCreated, &created)
+	yes := true
+	doTaskJSON(t, http.MethodPost, hs.URL+"/v1/tasks/"+created.Task.ID+"/votes",
+		TaskVoteRequest{JurorID: created.Task.Jurors[0].ID, Vote: &yes}, http.StatusOK, nil)
+
+	var m metricsResponse
+	doTaskJSON(t, http.MethodGet, hs.URL+"/metrics", nil, http.StatusOK, &m)
+	if m.Tasks == nil {
+		t.Fatal("no tasks metrics block")
+	}
+	if m.Tasks.Shards == 0 {
+		t.Errorf("shards = 0, want the configured shard count")
+	}
+	if m.Tasks.ShardContention < 0 {
+		t.Errorf("shard_contention = %d", m.Tasks.ShardContention)
+	}
+	if len(m.Tasks.WALFsyncBatchHist) == 0 {
+		t.Error("wal_fsync_batch_hist absent")
+	}
+	var fsyncsBucketed int64
+	for _, n := range m.Tasks.WALFsyncBatchHist {
+		fsyncsBucketed += n
+	}
+	if fsyncsBucketed == 0 || fsyncsBucketed != m.Tasks.WALFsyncs {
+		t.Errorf("batch histogram sums to %d, want wal_fsyncs %d (>0)", fsyncsBucketed, m.Tasks.WALFsyncs)
+	}
+	if m.Tasks.WALCommitQueueDepth < 0 {
+		t.Errorf("wal_commit_queue_depth = %d", m.Tasks.WALCommitQueueDepth)
+	}
+	hs.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reboot replays the log; the recovery cost must surface.
+	st2, hs2 := open()
+	defer hs2.Close()
+	defer st2.Close() //nolint:errcheck
+	doTaskJSON(t, http.MethodGet, hs2.URL+"/metrics", nil, http.StatusOK, &m)
+	if m.Tasks.WALReplayRecords == 0 {
+		t.Fatal("reboot replayed nothing")
+	}
+	if m.Tasks.WALReplayNS <= 0 {
+		t.Errorf("wal_replay_ns = %d, want > 0", m.Tasks.WALReplayNS)
+	}
+}

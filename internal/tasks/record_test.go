@@ -1,0 +1,208 @@
+package tasks
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"juryselect/internal/pool"
+)
+
+func f64p(v float64) *float64 { return &v }
+func boolp(v bool) *bool      { return &v }
+
+// codecRecords is a corpus covering every record type and optional
+// field combination.
+func codecRecords() []record {
+	utc := time.Date(2026, 7, 1, 12, 0, 0, 123456789, time.UTC)
+	est := time.Date(2026, 2, 3, 4, 5, 6, 7, time.FixedZone("", -5*3600))
+	return []record{
+		{Type: recVote, At: utc, Task: "t00000001", Juror: "j0042", Vote: boolp(true)},
+		{Type: recVote, At: utc, Task: "t00000002", Juror: "j0000", Vote: boolp(false)},
+		{Type: recDecline, At: est, Task: "t00000001", Juror: "j0001"},
+		{Type: recDecline, At: utc, Task: "t00000001", Juror: "j0001", Timeout: true},
+		{Type: recExpire, At: utc, Task: "t00000009"},
+		{Type: recTaskCreate, At: utc, Seq: 7, PoolVersion: 3, PredictedJER: 0.25,
+			Spec: &Spec{Pool: "crowd", Question: "is it?", Strategy: StrategyPay, Budget: 5.5,
+				TargetConfidence: 0.9, MaxInvites: 12, JurorTimeout: time.Minute, ExpiresIn: time.Hour},
+			Jury: []recJuror{{ID: "a", ErrorRate: 0.1, Cost: 1.25}, {ID: "b", ErrorRate: 0.2}}},
+		{Type: recTaskCreate, At: utc, Seq: 0, PoolVersion: 1,
+			Spec: &Spec{Pool: "p", Strategy: StrategyAltr, TargetConfidence: 1,
+				MaxInvites: 2, JurorTimeout: time.Second, ExpiresIn: time.Second},
+			Jury: []recJuror{}},
+		{Type: recPoolPut, At: utc, Pool: "crowd", Jurors: []pool.JurorState{
+			{ID: "a", ErrorRate: 0.1, Cost: 2}, {ID: "b", ErrorRate: 0.3, WrongVotes: 4, TotalVotes: 9}}},
+		{Type: recPoolPatch, At: utc, Pool: "crowd", Updates: []pool.JurorUpdate{
+			{ID: "a", ErrorRate: f64p(0.2)},
+			{ID: "b", Cost: f64p(3.5), Votes: &pool.VoteObservation{Wrong: 1, Total: 5}},
+			{ID: "c", Remove: true},
+			{ID: "d", ErrorRate: f64p(math.Nextafter(0.1, 1)), Cost: f64p(0)},
+		}},
+		{Type: recPoolDelete, Pool: "crowd"},
+	}
+}
+
+// TestRecordBinaryRoundTrip checks that the v2 binary codec is lossless
+// for every record shape: decode(encode(r)) == r, including exact
+// float bits and timestamps that re-marshal byte-identically.
+func TestRecordBinaryRoundTrip(t *testing.T) {
+	for _, rec := range codecRecords() {
+		raw, err := encodeRecord(nil, &rec)
+		if err != nil {
+			t.Fatalf("encode %s: %v", rec.Type, err)
+		}
+		if raw[0] == '{' {
+			t.Fatalf("%s: binary encoding starts with '{' — collides with the JSON framing", rec.Type)
+		}
+		got, err := decodeRecord(raw)
+		if err != nil {
+			t.Fatalf("decode %s: %v", rec.Type, err)
+		}
+		// Compare through JSON: the decoded time's Location pointer may
+		// differ from the original's even when the instant, offset and
+		// wire rendering are identical — which is the property replay
+		// actually needs.
+		want, _ := json.Marshal(rec)
+		have, _ := json.Marshal(got)
+		if string(want) != string(have) {
+			t.Errorf("%s round trip:\n got %s\nwant %s", rec.Type, have, want)
+		}
+	}
+}
+
+// TestRecordDecodeJSONCompat checks that PR 5 logs — JSON-framed
+// records — still decode: an upgraded binary can replay a WAL written
+// before the v2 encoding existed.
+func TestRecordDecodeJSONCompat(t *testing.T) {
+	for _, rec := range codecRecords() {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeRecord(raw)
+		if err != nil {
+			t.Fatalf("decode legacy %s: %v", rec.Type, err)
+		}
+		if got.Type != rec.Type || got.Task != rec.Task || got.Pool != rec.Pool {
+			t.Errorf("legacy %s: decoded %+v", rec.Type, got)
+		}
+	}
+}
+
+// TestRecordDecodeTruncated checks that every truncation of a binary
+// record fails loudly instead of yielding a partial record.
+func TestRecordDecodeTruncated(t *testing.T) {
+	for _, rec := range codecRecords() {
+		raw, err := encodeRecord(nil, &rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(raw); cut++ {
+			if _, err := decodeRecord(raw[:cut]); err == nil {
+				t.Fatalf("%s: decoding %d/%d bytes succeeded", rec.Type, cut, len(raw))
+			}
+		}
+	}
+}
+
+// TestRecordEncodeAllocFree pins the vote hot path's encoding cost:
+// appending into a reused buffer must not allocate.
+func TestRecordEncodeAllocFree(t *testing.T) {
+	rec := record{Type: recVote, At: time.Now().UTC(), Task: "t00000001", Juror: "j0042", Vote: boolp(true)}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		if _, err = encodeRecord(buf[:0], &rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encodeRecord(vote) allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestReplayLegacyJSONLog writes a WAL of JSON-framed records through
+// the raw WAL layer (as PR 5 did) and recovers a store from it: the
+// upgrade path for logs on disk at deploy time.
+func TestReplayLegacyJSONLog(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	legacy := []record{
+		{Type: recPoolPut, At: clock, Pool: "p", Jurors: []pool.JurorState{
+			{ID: "a", ErrorRate: 0.1}, {ID: "b", ErrorRate: 0.2}, {ID: "c", ErrorRate: 0.3}}},
+		{Type: recTaskCreate, At: clock, Seq: 0, PoolVersion: 1, PredictedJER: 0.058,
+			Spec: &Spec{Pool: "p", Strategy: StrategyAltr, TargetConfidence: 1,
+				MaxInvites: 6, JurorTimeout: time.Minute, ExpiresIn: time.Hour},
+			Jury: []recJuror{{ID: "a", ErrorRate: 0.1}, {ID: "b", ErrorRate: 0.2}, {ID: "c", ErrorRate: 0.3}}},
+		{Type: recVote, At: clock.Add(time.Second), Task: "t00000000", Juror: "a", Vote: boolp(true)},
+		{Type: recDecline, At: clock.Add(2 * time.Second), Task: "t00000000", Juror: "b", Timeout: true},
+	}
+	w, _, err := OpenWAL(walFile(dir, 0), WALOptions{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range legacy {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(Config{Dir: dir, Sync: SyncOff})
+	if err != nil {
+		t.Fatalf("recovering legacy log: %v", err)
+	}
+	defer s.Close() //nolint:errcheck
+	if s.Recovery().Records != int64(len(legacy)) {
+		t.Fatalf("replayed %d records, want %d", s.Recovery().Records, len(legacy))
+	}
+	v, err := s.Get("t00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.VotesSpent != 1 || v.Declines != 1 {
+		t.Fatalf("recovered view: votes %d declines %d", v.VotesSpent, v.Declines)
+	}
+	// New mutations on the recovered store journal in the binary
+	// framing; a second recovery replays the mixed log.
+	if _, err := s.Vote("t00000000", "c", true); err != nil {
+		t.Fatal(err)
+	}
+	before := v
+	_ = before
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{Dir: dir, Sync: SyncOff})
+	if err != nil {
+		t.Fatalf("recovering mixed log: %v", err)
+	}
+	defer s2.Close() //nolint:errcheck
+	v2, err := s2.Get("t00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.VotesSpent != 2 {
+		t.Fatalf("mixed-log recovery: votes %d, want 2", v2.VotesSpent)
+	}
+	if !reflect.DeepEqual(fingerprintViews(s.List("")), fingerprintViews(s2.List(""))) {
+		t.Fatal("mixed-log recovery diverged from the live store")
+	}
+}
+
+// fingerprintViews renders views for comparison.
+func fingerprintViews(vs []View) string {
+	raw, err := json.MarshalIndent(vs, "", " ")
+	if err != nil {
+		panic(err)
+	}
+	return string(raw)
+}

@@ -98,22 +98,20 @@ func (s *Store) loadSnapshot() error {
 				t.candidates[i] = jury.Juror{ID: c.ID, ErrorRate: c.ErrorRate, Cost: c.Cost}
 			}
 		}
-		s.tasks[t.id] = t
-		s.order = append(s.order, t.id)
-	}
-	for _, t := range s.tasks {
+		s.shardFor(t.id).insert(t)
+		s.nTasks.Add(1)
 		switch t.status {
 		case StatusOpen:
-			s.nOpen++
+			s.nOpen.Add(1)
 		case StatusAwaitingVotes:
-			s.nAwaiting++
+			s.nAwaiting.Add(1)
 		case StatusDecided:
-			s.nDecided++
+			s.nDecided.Add(1)
 		case StatusExpired:
-			s.nExpired++
+			s.nExpired.Add(1)
 		}
 	}
-	s.nextTask = snap.NextTask
+	s.nextTask.Store(snap.NextTask)
 	s.epoch = snap.Epoch
 	s.recovery.SnapshotLoaded = true
 	return nil
@@ -121,30 +119,35 @@ func (s *Store) loadSnapshot() error {
 
 // Compact folds the entire store state into a fresh snapshot and starts
 // a new, empty WAL epoch, bounding both recovery time and disk usage.
-// Safe to call at any time; mutations wait while it runs. Crash-safe at
+// Safe to call at any time; mutations wait while it runs (it takes
+// every store lock — rare and bounded, so stopping the world is
+// cheaper than making the hot path compaction-aware). Crash-safe at
 // every step: the snapshot is written to a temp file and renamed into
 // place before the old epoch's log is deleted, and recovery ignores log
 // epochs other than the snapshot's.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.compactGate.Lock()
+	defer s.compactGate.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return s.compactLocked()
 }
 
-// compactLocked is Compact with s.mu held.
+// compactLocked is Compact with every store lock held.
 func (s *Store) compactLocked() error {
-	if s.wal == nil {
+	wal := s.wal.Load()
+	if wal == nil {
 		return nil
 	}
+	tasksSorted := s.tasksSorted()
 	snap := snapshotFile{
 		Schema:   snapshotSchema,
 		Epoch:    s.epoch + 1,
 		Pools:    s.pools.Export(),
-		NextTask: s.nextTask,
-		Tasks:    make([]taskSnap, 0, len(s.order)),
+		NextTask: s.nextTask.Load(),
+		Tasks:    make([]taskSnap, 0, len(tasksSorted)),
 	}
-	for _, id := range s.order {
-		t := s.tasks[id]
+	for _, t := range tasksSorted {
 		ts := taskSnap{
 			ID:           t.id,
 			Spec:         t.spec,
@@ -188,8 +191,9 @@ func (s *Store) compactLocked() error {
 	// open error leaves the old (snapshot, full log) pair untouched,
 	// and after a successful rename only in-memory pointer swaps remain.
 	next, stale, err := OpenWAL(walFile(s.dir, snap.Epoch), WALOptions{
-		Sync:          s.wal.mode,
-		BatchInterval: s.wal.interval,
+		Sync:          wal.mode,
+		BatchInterval: wal.interval,
+		TimerCommit:   wal.timerOnly,
 	})
 	if err != nil {
 		return fmt.Errorf("tasks: opening wal epoch %d: %w", snap.Epoch, err)
@@ -212,20 +216,19 @@ func (s *Store) compactLocked() error {
 			// store would keep journaling to epoch N, whose records a
 			// restart would ignore. Refusing further mutations is the
 			// only honest state; a restart recovers from the snapshot.
-			s.failed = true
+			s.failed.Store(true)
 			return fmt.Errorf("tasks: snapshot rename finished but could not be confirmed durable: %w", err)
 		}
 		os.Remove(walFile(s.dir, snap.Epoch)) //nolint:errcheck // stale empty epoch
 		return fmt.Errorf("tasks: writing snapshot: %w", err)
 	}
 
-	old := s.wal
 	oldPath := walFile(s.dir, s.epoch)
-	s.wal = next
+	s.wal.Store(next)
 	s.epoch = snap.Epoch
-	s.sinceCompact = 0
+	s.sinceCompact.Store(0)
 	s.compactions.Add(1)
-	old.Close()        //nolint:errcheck // superseded by the snapshot
+	wal.Close()        //nolint:errcheck // superseded by the snapshot
 	os.Remove(oldPath) //nolint:errcheck // best-effort; stale files are ignored
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,12 @@ const (
 	// DefaultCompactEvery is the number of WAL records between automatic
 	// snapshot compactions.
 	DefaultCompactEvery = 8192
+	// DefaultTaskShards is the task-store shard count (rounded up to a
+	// power of two if configured otherwise). Votes on tasks in different
+	// shards fold under different mutexes.
+	DefaultTaskShards = 32
+	// maxTaskShards bounds a configured shard count.
+	maxTaskShards = 1024
 )
 
 // ErrStoreFailed reports that a previous journal write failed: the
@@ -41,6 +48,13 @@ type Config struct {
 	Sync SyncMode
 	// BatchInterval is the SyncBatch group-commit window.
 	BatchInterval time.Duration
+	// TimerCommit restores the legacy timer-driven group commit (fsync
+	// once per BatchInterval) instead of the default pipelined
+	// committer. Baseline benchmarking only.
+	TimerCommit bool
+	// Shards is the task-store shard count (0 = DefaultTaskShards;
+	// rounded up to a power of two). 1 degenerates to a global lock.
+	Shards int
 	// Engine is the shared JER engine; nil constructs a default one.
 	Engine *jury.Engine
 	// Pools is the live juror-pool store the tasks select from; nil
@@ -70,6 +84,9 @@ type RecoveryStats struct {
 	// Pools and Tasks count the recovered state.
 	Pools int
 	Tasks int
+	// Duration is the wall-clock cost of recovery (snapshot load + WAL
+	// replay).
+	Duration time.Duration
 }
 
 // Stats is the store's observability surface: lifecycle gauges plus WAL
@@ -81,17 +98,144 @@ type Stats struct {
 	Expired       int
 	Tasks         int
 	Compactions   int64
-	WAL           WALStats
+	// Shards is the configured shard count; ShardContention counts
+	// mutations that found their shard's mutex already held (a TryLock
+	// miss — the cross-task serialization the sharding exists to avoid).
+	Shards          int
+	ShardContention int64
+	WAL             WALStats
+}
+
+// taskNode is one link in a shard bucket chain, immutable once a reader
+// can observe it.
+type taskNode struct {
+	t    *task
+	next *taskNode
+}
+
+// taskIndex is a shard's lock-free hash index: a bucket array of
+// atomically published chain heads. Readers load a head and walk;
+// writers (holding the shard mutex) push fresh nodes onto heads, so an
+// insert is O(1) — a COW map here would copy the whole shard per create
+// and make task creation quadratic in store size. Tasks are never
+// removed (compaction snapshots them, it does not drop them), so chains
+// only grow, and when the average chain passes taskIndexLoad the index
+// is rebuilt at double width and swapped in whole.
+type taskIndex struct {
+	buckets []atomic.Pointer[taskNode]
+	mask    uint32
+}
+
+const (
+	taskIndexMinBuckets = 8
+	taskIndexLoad       = 4 // max average chain length before doubling
+)
+
+func newTaskIndex(buckets int) *taskIndex {
+	return &taskIndex{buckets: make([]atomic.Pointer[taskNode], buckets), mask: uint32(buckets - 1)}
+}
+
+// bucket picks the chain for a task-ID hash. The shard was picked from
+// the hash's low bits, so the bucket uses the bits above the maximum
+// shard mask.
+func (ix *taskIndex) bucket(h uint32) *atomic.Pointer[taskNode] {
+	return &ix.buckets[(h>>10)&ix.mask]
+}
+
+// taskHash is FNV-1a over the task ID; the low bits pick the shard and
+// the high bits the bucket within it.
+func taskHash(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return h
+}
+
+// shard is one slice of the task index. Mutations hold mu; reads load
+// the index pointer and each task's published view snapshot, so GET and
+// the sweeper's scan take no locks at all (same idiom as the pool
+// store's 9ns snapshot reads).
+type shard struct {
+	mu        sync.Mutex
+	idx       atomic.Pointer[taskIndex]
+	count     int // tasks in this shard; guarded by mu
+	contended atomic.Int64
+}
+
+// lockContended acquires the shard mutex, counting contention.
+func (sh *shard) lockContended() {
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+}
+
+// get returns the task without locking.
+func (sh *shard) get(id string) *task {
+	for n := sh.idx.Load().bucket(taskHash(id)).Load(); n != nil; n = n.next {
+		if n.t.id == id {
+			return n.t
+		}
+	}
+	return nil
+}
+
+// insert adds a task. Callers hold sh.mu (or are the only goroutine,
+// during recovery).
+func (sh *shard) insert(t *task) {
+	idx := sh.idx.Load()
+	if sh.count+1 > len(idx.buckets)*taskIndexLoad {
+		idx = sh.rebuild(idx)
+	}
+	b := idx.bucket(taskHash(t.id))
+	b.Store(&taskNode{t: t, next: b.Load()})
+	sh.count++
+}
+
+// rebuild doubles the index. The new buckets are filled before the
+// index pointer is published, so readers see either the old complete
+// index or the new one.
+func (sh *shard) rebuild(old *taskIndex) *taskIndex {
+	next := newTaskIndex(len(old.buckets) * 2)
+	for i := range old.buckets {
+		for n := old.buckets[i].Load(); n != nil; n = n.next {
+			b := next.bucket(taskHash(n.t.id))
+			b.Store(&taskNode{t: n.t, next: b.Load()})
+		}
+	}
+	sh.idx.Store(next)
+	return next
+}
+
+// forEach visits every task in the shard (lock-free; the snapshot is
+// whatever index was published at the load).
+func (sh *shard) forEach(f func(*task)) {
+	idx := sh.idx.Load()
+	for i := range idx.buckets {
+		for n := idx.buckets[i].Load(); n != nil; n = n.next {
+			f(n.t)
+		}
+	}
 }
 
 // Store is the durable decision-task store: the lifecycle state machine,
 // the journaled pool mutations, and the recovery machinery. All methods
 // are safe for concurrent use.
+//
+// Concurrency model: tasks live in a fixed shard array keyed by task-ID
+// hash; each mutation applies and journals under its shard's mutex
+// only, so votes on distinct tasks fold in parallel and share fsyncs
+// through the WAL's pipelined committer. poolMu orders task creation
+// (read side) against journaled pool mutations (write side): a create
+// snapshots the pool and appends its record under RLock, so no pool
+// write can slip between the snapshot and the record — the invariant
+// byte-identical replay depends on. Lock order is poolMu before shard
+// mutexes; compaction takes everything.
 type Store struct {
-	mu    sync.Mutex
-	wal   *WAL // nil for memory-only stores
+	wal   atomic.Pointer[WAL] // nil for memory-only stores
 	dir   string
-	epoch uint64
+	epoch uint64 // guarded by holding every lock (Open/compaction only)
 
 	pools *pool.Store
 	eng   *jury.Engine
@@ -101,15 +245,17 @@ type Store struct {
 	defaultExpiry       time.Duration
 	defaultTarget       float64
 	compactEvery        int
-	sinceCompact        int
+	sinceCompact        atomic.Int64
+	compactGate         sync.Mutex // serializes compaction attempts
 	compactions         atomic.Int64
 
-	tasks    map[string]*task
-	order    []string // creation order, for deterministic listing/sweeps
-	nextTask uint64
-	failed   bool // sticky: a journal write failed after state applied
+	poolMu    sync.RWMutex
+	shards    []shard
+	shardMask uint32
+	nextTask  atomic.Uint64
+	failed    atomic.Bool // sticky: a journal write failed after state applied
 
-	nOpen, nAwaiting, nDecided, nExpired int
+	nTasks, nOpen, nAwaiting, nDecided, nExpired atomic.Int64
 
 	recovery RecoveryStats
 }
@@ -135,8 +281,22 @@ func Open(cfg Config) (*Store, error) {
 		defaultExpiry:       cfg.DefaultExpiry,
 		defaultTarget:       cfg.DefaultTargetConfidence,
 		compactEvery:        cfg.CompactEvery,
-		tasks:               make(map[string]*task),
 		dir:                 cfg.Dir,
+	}
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = DefaultTaskShards
+	}
+	if nShards > maxTaskShards {
+		nShards = maxTaskShards
+	}
+	for nShards&(nShards-1) != 0 {
+		nShards++
+	}
+	s.shards = make([]shard, nShards)
+	s.shardMask = uint32(nShards - 1)
+	for i := range s.shards {
+		s.shards[i].idx.Store(newTaskIndex(taskIndexMinBuckets))
 	}
 	if s.pools == nil {
 		s.pools = pool.NewStore()
@@ -166,36 +326,71 @@ func Open(cfg Config) (*Store, error) {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
 	wal, records, err := OpenWAL(walFile(s.dir, s.epoch), WALOptions{
 		Sync:          cfg.Sync,
 		BatchInterval: cfg.BatchInterval,
+		TimerCommit:   cfg.TimerCommit,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.wal = wal
-	for _, r := range records {
-		rec, err := decodeRecord(r.payload)
-		if err != nil {
-			wal.Close() //nolint:errcheck
-			return nil, err
-		}
-		if err := s.applyRecord(rec); err != nil {
-			wal.Close() //nolint:errcheck
-			return nil, fmt.Errorf("tasks: replaying %s record: %w", rec.Type, err)
-		}
+	s.wal.Store(wal)
+	if err := s.replayRecords(records); err != nil {
+		wal.Close() //nolint:errcheck
+		return nil, err
 	}
-	s.sinceCompact = len(records)
+	s.publishAll()
+	s.sinceCompact.Store(int64(len(records)))
 	st := wal.Stats()
 	s.recovery.Records = st.ReplayRecords
 	s.recovery.TornBytes = st.TornBytes
 	s.recovery.Pools = s.pools.Len()
-	s.recovery.Tasks = len(s.tasks)
+	s.recovery.Tasks = int(s.nTasks.Load())
+	s.recovery.Duration = time.Since(start)
 	s.removeStaleWALs()
 	return s, nil
+}
+
+// shardFor hashes a task ID (FNV-1a) onto its shard.
+func (s *Store) shardFor(id string) *shard {
+	return &s.shards[taskHash(id)&s.shardMask]
+}
+
+// lookup returns the task without locking (index load + chain walk).
+func (s *Store) lookup(id string) *task {
+	return s.shardFor(id).get(id)
+}
+
+// publish re-renders the task's lock-free view snapshot. Callers hold
+// the task's shard mutex (or are single-threaded, during recovery).
+func publish(t *task) View {
+	v := t.view()
+	t.snap.Store(&v)
+	return v
+}
+
+// publishAll renders every recovered task's snapshot once, after replay
+// (per-mutation publication during replay would render a full view per
+// vote for nothing).
+func (s *Store) publishAll() {
+	for i := range s.shards {
+		s.shards[i].forEach(func(t *task) { publish(t) })
+	}
+}
+
+// tasksSorted returns every task ordered by ID — creation order, since
+// IDs are zero-padded sequence numbers.
+func (s *Store) tasksSorted() []*task {
+	out := make([]*task, 0, s.nTasks.Load())
+	for i := range s.shards {
+		s.shards[i].forEach(func(t *task) { out = append(out, t) })
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // removeStaleWALs deletes log files from epochs other than the current
@@ -225,72 +420,105 @@ func (s *Store) Pools() *pool.Store { return s.pools }
 func (s *Store) Engine() *jury.Engine { return s.eng }
 
 // Durable reports whether the store journals to disk.
-func (s *Store) Durable() bool { return s.wal != nil }
+func (s *Store) Durable() bool { return s.wal.Load() != nil }
+
+// lockAll acquires every mutation lock in canonical order (poolMu, then
+// shards by index): compaction and Close exclude all writers.
+func (s *Store) lockAll() {
+	s.poolMu.Lock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	s.poolMu.Unlock()
+}
 
 // Close flushes and closes the WAL. Further mutations fail.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
+	s.lockAll()
+	defer s.unlockAll()
+	w := s.wal.Load()
+	if w == nil {
 		return nil
 	}
-	return s.wal.Close()
+	return w.Close()
 }
 
 // Stats returns the lifecycle gauges and WAL counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
 	st := Stats{
-		Open:          s.nOpen,
-		AwaitingVotes: s.nAwaiting,
-		Decided:       s.nDecided,
-		Expired:       s.nExpired,
-		Tasks:         len(s.tasks),
+		Open:          int(s.nOpen.Load()),
+		AwaitingVotes: int(s.nAwaiting.Load()),
+		Decided:       int(s.nDecided.Load()),
+		Expired:       int(s.nExpired.Load()),
+		Tasks:         int(s.nTasks.Load()),
 		Compactions:   s.compactions.Load(),
+		Shards:        len(s.shards),
 	}
-	wal := s.wal
-	s.mu.Unlock()
-	if wal != nil {
-		st.WAL = wal.Stats()
+	for i := range s.shards {
+		st.ShardContention += s.shards[i].contended.Load()
+	}
+	if w := s.wal.Load(); w != nil {
+		st.WAL = w.Stats()
 	}
 	return st
 }
 
 // commit identifies a journaled record for the durability wait: the WAL
-// instance it was appended to (a compaction may swap s.wal before the
-// caller waits) and its sequence there.
+// instance it was appended to (a compaction may swap the store's WAL
+// before the caller waits) and its sequence there.
 type commit struct {
 	wal *WAL
 	seq uint64
 }
 
+// recBufPool recycles record-encoding buffers: AppendAsync copies the
+// frame into the WAL's write buffer synchronously, so the buffer is
+// reusable the moment journal returns.
+var recBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
 // journal appends a record to the WAL (if any) without waiting for
 // durability, returning the commit token to pass to waitDurable.
-// Callers hold s.mu, so WAL order always equals application order.
-func (s *Store) journal(rec record) (commit, error) {
-	if s.wal == nil {
+// Callers hold the lock that orders this mutation (the task's shard
+// mutex, or poolMu for pool writes), so per-task and per-pool WAL order
+// always equals application order.
+func (s *Store) journal(rec *record) (commit, error) {
+	w := s.wal.Load()
+	if w == nil {
 		return commit{}, nil
 	}
-	raw, err := encodeRecord(rec)
+	bp := recBufPool.Get().(*[]byte)
+	buf, err := encodeRecord((*bp)[:0], rec)
 	if err != nil {
+		recBufPool.Put(bp)
 		return commit{}, err
 	}
-	seq, err := s.wal.AppendAsync(raw)
+	seq, err := w.AppendAsync(buf)
+	*bp = buf
+	recBufPool.Put(bp)
 	if err != nil {
 		// The in-memory state this record describes was (or is about to
 		// be) applied; the journal no longer matches. Fail the store:
 		// restarting and replaying the intact log is the recovery path.
-		s.failed = true
+		s.failed.Store(true)
 		return commit{}, fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
-	s.sinceCompact++
-	return commit{wal: s.wal, seq: seq}, nil
+	s.sinceCompact.Add(1)
+	return commit{wal: w, seq: seq}, nil
 }
 
 // waitDurable blocks until the journaled record is durable. Called
-// without s.mu so concurrent mutations group-commit into shared fsyncs.
-// A record's WAL may have been superseded by a compaction meanwhile;
-// its Close acknowledged everything buffered, so the wait still ends.
+// without any store lock so concurrent mutations group-commit into
+// shared fsyncs — only the responder parks here. A record's WAL may
+// have been superseded by a compaction meanwhile; its Close
+// acknowledged everything buffered, so the wait still ends.
 func (s *Store) waitDurable(c commit) error {
 	if c.wal == nil || c.seq == 0 {
 		return nil
@@ -298,16 +526,29 @@ func (s *Store) waitDurable(c commit) error {
 	return c.wal.WaitDurable(c.seq)
 }
 
-// maybeCompactLocked triggers compaction when the log has grown past the
-// threshold. Callers hold s.mu.
-func (s *Store) maybeCompactLocked() {
-	if s.wal == nil || s.compactEvery < 0 || s.sinceCompact < s.compactEvery || s.failed {
+// maybeCompact triggers compaction when the log has grown past the
+// threshold. Called after the mutation's locks are released; the
+// compaction itself stops the world (all locks, in order).
+func (s *Store) maybeCompact() {
+	if s.wal.Load() == nil || s.compactEvery < 0 || s.failed.Load() {
 		return
 	}
+	if s.sinceCompact.Load() < int64(s.compactEvery) {
+		return
+	}
+	if !s.compactGate.TryLock() {
+		return // a compaction is already running
+	}
+	defer s.compactGate.Unlock()
+	if s.sinceCompact.Load() < int64(s.compactEvery) {
+		return
+	}
+	s.lockAll()
+	defer s.unlockAll()
 	if err := s.compactLocked(); err != nil {
 		// Compaction failure is not fatal: the log keeps growing and the
 		// next threshold crossing retries.
-		s.sinceCompact = 0
+		s.sinceCompact.Store(0)
 	}
 }
 
@@ -316,23 +557,23 @@ func (s *Store) maybeCompactLocked() {
 // PutPool journals and applies a full pool replacement.
 func (s *Store) PutPool(name string, jurors []jury.Juror) (*pool.Pool, error) {
 	at := s.now()
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
+	s.poolMu.Lock()
+	if s.failed.Load() {
+		s.poolMu.Unlock()
 		return nil, ErrStoreFailed
 	}
 	p, err := s.pools.PutAt(name, jurors, at)
 	if err != nil {
-		s.mu.Unlock()
+		s.poolMu.Unlock()
 		return nil, err
 	}
 	states := make([]pool.JurorState, len(jurors))
 	for i, j := range jurors {
 		states[i] = pool.JurorState{ID: j.ID, ErrorRate: j.ErrorRate, Cost: j.Cost}
 	}
-	c, err := s.journal(record{Type: recPoolPut, At: at, Pool: name, Jurors: states})
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	c, err := s.journal(&record{Type: recPoolPut, At: at, Pool: name, Jurors: states})
+	s.poolMu.Unlock()
+	s.maybeCompact()
 	if err != nil {
 		return nil, err
 	}
@@ -345,19 +586,19 @@ func (s *Store) PutPool(name string, jurors []jury.Juror) (*pool.Pool, error) {
 // PatchPool journals and applies incremental pool updates.
 func (s *Store) PatchPool(name string, updates []pool.JurorUpdate) (*pool.Pool, error) {
 	at := s.now()
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
+	s.poolMu.Lock()
+	if s.failed.Load() {
+		s.poolMu.Unlock()
 		return nil, ErrStoreFailed
 	}
 	p, err := s.pools.PatchAt(name, updates, at)
 	if err != nil {
-		s.mu.Unlock()
+		s.poolMu.Unlock()
 		return nil, err
 	}
-	c, err := s.journal(record{Type: recPoolPatch, At: at, Pool: name, Updates: updates})
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	c, err := s.journal(&record{Type: recPoolPatch, At: at, Pool: name, Updates: updates})
+	s.poolMu.Unlock()
+	s.maybeCompact()
 	if err != nil {
 		return nil, err
 	}
@@ -370,18 +611,18 @@ func (s *Store) PatchPool(name string, updates []pool.JurorUpdate) (*pool.Pool, 
 // DeletePool journals and applies a pool deletion. It reports whether
 // the pool existed.
 func (s *Store) DeletePool(name string) (bool, error) {
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
+	s.poolMu.Lock()
+	if s.failed.Load() {
+		s.poolMu.Unlock()
 		return false, ErrStoreFailed
 	}
 	if !s.pools.Delete(name) {
-		s.mu.Unlock()
+		s.poolMu.Unlock()
 		return false, nil
 	}
-	c, err := s.journal(record{Type: recPoolDelete, Pool: name})
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	c, err := s.journal(&record{Type: recPoolDelete, Pool: name})
+	s.poolMu.Unlock()
+	s.maybeCompact()
 	if err != nil {
 		return true, err
 	}
@@ -392,7 +633,7 @@ func (s *Store) DeletePool(name string) (bool, error) {
 
 // Create selects a jury for the spec from the named pool's current
 // snapshot, journals the task and returns its initial view. The
-// selection itself runs outside the store lock on the immutable
+// selection itself runs outside every store lock on the immutable
 // snapshot.
 func (s *Store) Create(ctx context.Context, spec Spec) (View, error) {
 	spec, err := s.normalizeSpec(spec)
@@ -421,25 +662,24 @@ func (s *Store) Create(ctx context.Context, spec Spec) (View, error) {
 	}
 	at := s.now()
 
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
+	// poolMu (read side) pins the pool against journaled pool mutations
+	// for the span of snapshot-read + record-append: the create record's
+	// position in the log matches the pool state replay will see there.
+	// Using the pre-lock snapshot would let a concurrently journaled
+	// patch slip between it and the create record, making replay build a
+	// different replacement-candidate view than the live task used (and
+	// then reject the live run's own decline/vote records).
+	s.poolMu.RLock()
+	if s.failed.Load() {
+		s.poolMu.RUnlock()
 		return View{}, ErrStoreFailed
 	}
-	// Re-fetch the pool under the store mutex: pool mutations journal
-	// under this same lock, so this snapshot is exactly the pool state
-	// at this record's position in the log — which is what applyCreate
-	// derives again on replay. Using the pre-lock snapshot here would
-	// let a concurrently journaled patch slip between it and the create
-	// record, making replay build a different replacement-candidate
-	// view than the live task used (and then reject the live run's own
-	// decline/vote records).
 	p, ok = s.pools.Get(spec.Pool)
 	if !ok {
-		s.mu.Unlock()
+		s.poolMu.RUnlock()
 		return View{}, fmt.Errorf("%w: %q", pool.ErrPoolNotFound, spec.Pool)
 	}
-	seqNo := s.nextTask
+	seqNo := s.nextTask.Add(1) - 1
 	rec := record{
 		Type:         recTaskCreate,
 		At:           at,
@@ -449,26 +689,35 @@ func (s *Store) Create(ctx context.Context, spec Spec) (View, error) {
 		PoolVersion:  p.Version,
 		PredictedJER: sel.JER,
 	}
-	tok, err := s.journal(rec)
+	id := taskID(seqNo)
+	sh := s.shardFor(id)
+	sh.lockContended()
+	tok, err := s.journal(&rec)
 	if err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
+		s.poolMu.RUnlock()
 		return View{}, err
 	}
-	t := s.applyCreate(rec, p.Sorted())
-	view := t.view()
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	t := s.applyCreate(sh, &rec, p.Sorted())
+	view := publish(t)
+	sh.mu.Unlock()
+	s.poolMu.RUnlock()
+	s.maybeCompact()
 	if err := s.waitDurable(tok); err != nil {
 		return View{}, err
 	}
 	return view, nil
 }
 
-// applyCreate inserts the journaled task. Callers hold s.mu.
-func (s *Store) applyCreate(rec record, candidates []jury.Juror) *task {
-	id := fmt.Sprintf("t%08d", rec.Seq)
+// taskID renders a sequence number as the external task ID. Zero-padded,
+// so lexicographic ID order is creation order.
+func taskID(seq uint64) string { return fmt.Sprintf("t%08d", seq) }
+
+// applyCreate inserts the journaled task. Callers hold the shard mutex
+// (live) or are single-threaded (replay).
+func (s *Store) applyCreate(sh *shard, rec *record, candidates []jury.Juror) *task {
 	t := &task{
-		id:           id,
+		id:           taskID(rec.Seq),
 		spec:         *rec.Spec,
 		status:       StatusOpen,
 		poolVersion:  rec.PoolVersion,
@@ -484,38 +733,37 @@ func (s *Store) applyCreate(rec record, candidates []jury.Juror) *task {
 			State: JurorInvited, InvitedAt: rec.At}
 		t.index[j.ID] = i
 	}
-	s.tasks[id] = t
-	s.order = append(s.order, id)
-	if rec.Seq >= s.nextTask {
-		s.nextTask = rec.Seq + 1
+	sh.insert(t)
+	for next := s.nextTask.Load(); rec.Seq >= next; next = s.nextTask.Load() {
+		if s.nextTask.CompareAndSwap(next, rec.Seq+1) {
+			break
+		}
 	}
-	s.nOpen++
+	s.nTasks.Add(1)
+	s.nOpen.Add(1)
 	return t
 }
 
-// Get returns the task's current view.
+// Get returns the task's current view: two atomic loads, no locks.
 func (s *Store) Get(id string) (View, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tasks[id]
-	if !ok {
+	t := s.lookup(id)
+	if t == nil {
 		return View{}, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
 	}
-	return t.view(), nil
+	return *t.snap.Load(), nil
 }
 
 // List returns every task's view in creation order, optionally filtered
-// by status ("" = all).
+// by status ("" = all). Lock-free: it reads the published snapshots.
 func (s *Store) List(status Status) []View {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]View, 0, len(s.order))
-	for _, id := range s.order {
-		t := s.tasks[id]
-		if status != "" && t.status != status {
+	ts := s.tasksSorted()
+	out := make([]View, 0, len(ts))
+	for _, t := range ts {
+		v := t.snap.Load()
+		if status != "" && v.Status != status {
 			continue
 		}
-		out = append(out, t.view())
+		out = append(out, *v)
 	}
 	return out
 }
@@ -543,37 +791,37 @@ func checkVote(t *task, jurorID string) (int, error) {
 // or the jury is exhausted.
 func (s *Store) Vote(id, jurorID string, voteYes bool) (View, error) {
 	at := s.now()
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
+	if s.failed.Load() {
 		return View{}, ErrStoreFailed
 	}
-	t, ok := s.tasks[id]
-	if !ok {
-		s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.lockContended()
+	t := sh.get(id)
+	if t == nil {
+		sh.mu.Unlock()
 		return View{}, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
 	}
 	if _, err := checkVote(t, jurorID); err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return View{}, err
 	}
 	v := voteYes
-	c, err := s.journal(record{Type: recVote, At: at, Task: id, Juror: jurorID, Vote: &v})
+	c, err := s.journal(&record{Type: recVote, At: at, Task: id, Juror: jurorID, Vote: &v})
 	if err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return View{}, err
 	}
 	s.applyVote(t, jurorID, voteYes, at)
-	view := t.view()
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	view := publish(t)
+	sh.mu.Unlock()
+	s.maybeCompact()
 	if err := s.waitDurable(c); err != nil {
 		return View{}, err
 	}
 	return view, nil
 }
 
-// applyVote applies a validated vote. Callers hold s.mu.
+// applyVote applies a validated vote. Callers hold the shard mutex.
 func (s *Store) applyVote(t *task, jurorID string, voteYes bool, at time.Time) {
 	i := t.index[jurorID]
 	v := voteYes
@@ -596,29 +844,29 @@ func (s *Store) Decline(id, jurorID string) (View, error) {
 
 func (s *Store) decline(id, jurorID string, timeout bool) (View, error) {
 	at := s.now()
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
+	if s.failed.Load() {
 		return View{}, ErrStoreFailed
 	}
-	t, ok := s.tasks[id]
-	if !ok {
-		s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.lockContended()
+	t := sh.get(id)
+	if t == nil {
+		sh.mu.Unlock()
 		return View{}, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
 	}
 	if _, err := checkVote(t, jurorID); err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return View{}, err
 	}
-	c, err := s.journal(record{Type: recDecline, At: at, Task: id, Juror: jurorID, Timeout: timeout})
+	c, err := s.journal(&record{Type: recDecline, At: at, Task: id, Juror: jurorID, Timeout: timeout})
 	if err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return View{}, err
 	}
 	s.applyDecline(t, jurorID, timeout, at)
-	view := t.view()
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	view := publish(t)
+	sh.mu.Unlock()
+	s.maybeCompact()
 	if err := s.waitDurable(c); err != nil {
 		return View{}, err
 	}
@@ -626,7 +874,7 @@ func (s *Store) decline(id, jurorID string, timeout bool) (View, error) {
 }
 
 // applyDecline releases the juror, invites a replacement when one fits,
-// and re-checks closure. Callers hold s.mu.
+// and re-checks closure. Callers hold the shard mutex.
 func (s *Store) applyDecline(t *task, jurorID string, timeout bool, at time.Time) {
 	i := t.index[jurorID]
 	if timeout {
@@ -666,7 +914,8 @@ func (s *Store) inviteReplacement(t *task, at time.Time) {
 	}
 }
 
-// closeCheck applies the sequential stopping rule. Callers hold s.mu.
+// closeCheck applies the sequential stopping rule. Callers hold the
+// shard mutex.
 func (s *Store) closeCheck(t *task, at time.Time) {
 	if t.status.closed() {
 		return
@@ -697,67 +946,76 @@ func (s *Store) closeCheck(t *task, at time.Time) {
 // replacements invited under the remaining budget). It returns how many
 // jurors were released and how many tasks expired. juryd calls it on a
 // timer; tests call it with explicit clocks.
+//
+// The scan reads the lock-free view snapshots (spec and expiry are
+// immutable after creation); each resulting action revalidates under
+// its task's shard mutex before journaling.
 func (s *Store) Sweep(now time.Time) (released, expired int, err error) {
+	if s.failed.Load() {
+		return 0, 0, ErrStoreFailed
+	}
 	type action struct {
 		task  string
 		juror string // "" = expire the task
 	}
-	s.mu.Lock()
-	if s.failed {
-		s.mu.Unlock()
-		return 0, 0, ErrStoreFailed
-	}
 	var acts []action
-	for _, id := range s.order {
-		t := s.tasks[id]
-		if t.status.closed() {
+	for _, t := range s.tasksSorted() {
+		v := t.snap.Load()
+		if v == nil || v.Status.closed() {
 			continue
 		}
 		if !now.Before(t.expiresAt) {
-			acts = append(acts, action{task: id})
+			acts = append(acts, action{task: t.id})
 			continue
 		}
-		for _, j := range t.jurors {
+		for _, j := range v.Jurors {
 			if j.State == JurorInvited && !now.Before(j.InvitedAt.Add(t.spec.JurorTimeout)) {
-				acts = append(acts, action{task: id, juror: j.ID})
+				acts = append(acts, action{task: t.id, juror: j.ID})
 			}
 		}
 	}
 	var lastCommit commit
 	for _, a := range acts {
-		t := s.tasks[a.task]
-		if t.status.closed() {
-			continue // an earlier action in this sweep closed it
+		sh := s.shardFor(a.task)
+		sh.lockContended()
+		t := sh.get(a.task)
+		if t == nil || t.status.closed() {
+			sh.mu.Unlock()
+			continue // closed since the scan (a vote, or an earlier action)
 		}
 		if a.juror == "" {
-			c, jerr := s.journal(record{Type: recExpire, At: now, Task: a.task})
+			c, jerr := s.journal(&record{Type: recExpire, At: now, Task: a.task})
 			if jerr != nil {
-				s.mu.Unlock()
+				sh.mu.Unlock()
 				return released, expired, jerr
 			}
 			lastCommit = c
 			s.applyExpire(t)
+			publish(t)
 			expired++
-			continue
+		} else {
+			if _, cerr := checkVote(t, a.juror); cerr != nil {
+				sh.mu.Unlock()
+				continue // voted or released since the scan (replacement chains)
+			}
+			c, jerr := s.journal(&record{Type: recDecline, At: now, Task: a.task, Juror: a.juror, Timeout: true})
+			if jerr != nil {
+				sh.mu.Unlock()
+				return released, expired, jerr
+			}
+			lastCommit = c
+			s.applyDecline(t, a.juror, true, now)
+			publish(t)
+			released++
 		}
-		if _, cerr := checkVote(t, a.juror); cerr != nil {
-			continue // voted or released since the scan (replacement chains)
-		}
-		c, jerr := s.journal(record{Type: recDecline, At: now, Task: a.task, Juror: a.juror, Timeout: true})
-		if jerr != nil {
-			s.mu.Unlock()
-			return released, expired, jerr
-		}
-		lastCommit = c
-		s.applyDecline(t, a.juror, true, now)
-		released++
+		sh.mu.Unlock()
 	}
-	s.maybeCompactLocked()
-	s.mu.Unlock()
+	s.maybeCompact()
 	return released, expired, s.waitDurable(lastCommit)
 }
 
-// applyExpire closes the task without a verdict. Callers hold s.mu.
+// applyExpire closes the task without a verdict. Callers hold the shard
+// mutex.
 func (s *Store) applyExpire(t *task) {
 	if t.status.closed() {
 		return
@@ -766,35 +1024,36 @@ func (s *Store) applyExpire(t *task) {
 }
 
 // setStatus transitions a task and maintains the gauges. Callers hold
-// s.mu.
+// the shard mutex.
 func (s *Store) setStatus(t *task, next Status) {
 	switch t.status {
 	case StatusOpen:
-		s.nOpen--
+		s.nOpen.Add(-1)
 	case StatusAwaitingVotes:
-		s.nAwaiting--
+		s.nAwaiting.Add(-1)
 	case StatusDecided:
-		s.nDecided--
+		s.nDecided.Add(-1)
 	case StatusExpired:
-		s.nExpired--
+		s.nExpired.Add(-1)
 	}
 	t.status = next
 	switch next {
 	case StatusOpen:
-		s.nOpen++
+		s.nOpen.Add(1)
 	case StatusAwaitingVotes:
-		s.nAwaiting++
+		s.nAwaiting.Add(1)
 	case StatusDecided:
-		s.nDecided++
+		s.nDecided.Add(1)
 	case StatusExpired:
-		s.nExpired++
+		s.nExpired.Add(1)
 	}
 }
 
 // applyRecord replays one journaled mutation. Records passed validation
 // before being journaled, so failures indicate a corrupted or
-// out-of-order log and abort recovery.
-func (s *Store) applyRecord(rec record) error {
+// out-of-order log and abort recovery. Replay is single-threaded: no
+// locks are taken.
+func (s *Store) applyRecord(rec *record) error {
 	switch rec.Type {
 	case recPoolPut:
 		jurors := make([]jury.Juror, len(rec.Jurors))
@@ -817,11 +1076,11 @@ func (s *Store) applyRecord(rec record) error {
 		if p, ok := s.pools.Get(rec.Spec.Pool); ok {
 			candidates = p.Sorted()
 		}
-		s.applyCreate(rec, candidates)
+		s.applyCreate(s.shardFor(taskID(rec.Seq)), rec, candidates)
 		return nil
 	case recVote:
-		t, ok := s.tasks[rec.Task]
-		if !ok {
+		t := s.lookup(rec.Task)
+		if t == nil {
 			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
 		}
 		if rec.Vote == nil {
@@ -833,8 +1092,8 @@ func (s *Store) applyRecord(rec record) error {
 		s.applyVote(t, rec.Juror, *rec.Vote, rec.At)
 		return nil
 	case recDecline:
-		t, ok := s.tasks[rec.Task]
-		if !ok {
+		t := s.lookup(rec.Task)
+		if t == nil {
 			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
 		}
 		if _, err := checkVote(t, rec.Juror); err != nil {
@@ -843,8 +1102,8 @@ func (s *Store) applyRecord(rec record) error {
 		s.applyDecline(t, rec.Juror, rec.Timeout, rec.At)
 		return nil
 	case recExpire:
-		t, ok := s.tasks[rec.Task]
-		if !ok {
+		t := s.lookup(rec.Task)
+		if t == nil {
 			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
 		}
 		s.applyExpire(t)

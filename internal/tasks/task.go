@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"juryselect/internal/estimate"
@@ -119,7 +120,12 @@ type Verdict struct {
 	DecidedAt    time.Time
 }
 
-// task is the store's internal task state, guarded by the store mutex.
+// task is the store's internal task state. Mutable fields are guarded
+// by the owning shard's mutex; id, spec, createdAt, expiresAt,
+// poolVersion, predictedJER and candidates are immutable after creation
+// and safe to read lock-free. snap is the published copy-on-write view:
+// every mutation renders a fresh View and stores it, so Get, List and
+// the sweeper's scan never take the shard lock.
 type task struct {
 	id           string
 	spec         Spec
@@ -136,6 +142,10 @@ type task struct {
 	// candidates is the ε-sorted creation-snapshot view replacements are
 	// drawn from (immutable, shared with the pool snapshot).
 	candidates []jury.Juror
+
+	// snap is the lock-free published view; views are immutable once
+	// stored (each publication renders fresh slices).
+	snap atomic.Pointer[View]
 }
 
 // pending counts invited jurors who have not yet answered or been
@@ -247,7 +257,8 @@ type View struct {
 	Verdict          *VerdictView `json:"verdict,omitempty"`
 }
 
-// view renders the task's external state. Callers hold the store mutex.
+// view renders the task's external state. Callers hold the task's shard
+// mutex (or are single-threaded, during recovery).
 func (t *task) view() View {
 	v := View{
 		ID:               t.id,
