@@ -11,7 +11,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +21,7 @@ import (
 	"juryselect/internal/engine"
 	"juryselect/internal/experiments"
 	"juryselect/internal/jer"
+	"juryselect/internal/obs"
 	"juryselect/internal/randx"
 	"juryselect/internal/server"
 	"juryselect/internal/simul"
@@ -272,13 +272,16 @@ func simulBenches() []namedBench {
 			const clients = 4
 			body := []byte(`{"pool":"crowd"}`)
 			var next atomic.Int64
-			latencies := make([][]int64, clients)
+			// One shared atomic histogram replaces the per-client sample
+			// slices: concurrent writers need no partitioning, and the
+			// percentile extras come straight from the snapshot.
+			var lat obs.Histogram
 			b.ReportAllocs()
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			for c := 0; c < clients; c++ {
 				wg.Add(1)
-				go func(c int) {
+				go func() {
 					defer wg.Done()
 					for int(next.Add(1)) <= b.N {
 						start := time.Now()
@@ -293,22 +296,20 @@ func simulBenches() []namedBench {
 							b.Errorf("status %d", resp.StatusCode)
 							return
 						}
-						latencies[c] = append(latencies[c], time.Since(start).Nanoseconds())
+						lat.Observe(time.Since(start).Nanoseconds())
 					}
-				}(c)
+				}()
 			}
 			wg.Wait()
 			b.StopTimer()
-			var all []int64
-			for _, l := range latencies {
-				all = append(all, l...)
-			}
-			if len(all) == 0 {
+			snap := lat.Snapshot()
+			if snap.Count == 0 {
 				return
 			}
-			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-			b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
-			b.ReportMetric(float64(all[int(0.99*float64(len(all)-1))]), "p99-ns")
+			b.ReportMetric(float64(snap.Quantile(0.50)), "p50-ns")
+			b.ReportMetric(float64(snap.Quantile(0.90)), "p90-ns")
+			b.ReportMetric(float64(snap.Quantile(0.99)), "p99-ns")
+			b.ReportMetric(float64(snap.Quantile(0.999)), "p999-ns")
 		}},
 	}
 }
@@ -552,7 +553,7 @@ func taskBenches() []namedBench {
 				}
 				records++
 				for _, j := range v.Jurors {
-					if _, err := store.Vote(v.ID, j.ID, i%2 == 0); err != nil {
+					if _, err := store.Vote(context.Background(), v.ID, j.ID, i%2 == 0); err != nil {
 						b.Fatal(err)
 					}
 					records++
@@ -618,7 +619,7 @@ func taskHammer(conf func(dir string) tasks.Config) func(b *testing.B) {
 					id, jurors, next = v.ID, v.Jurors, 0
 					continue
 				}
-				if _, err := store.Vote(id, jurors[next].ID, next%2 == 0); err != nil {
+				if _, err := store.Vote(context.Background(), id, jurors[next].ID, next%2 == 0); err != nil {
 					b.Error(err)
 					return
 				}
@@ -806,6 +807,10 @@ type benchGuard struct {
 // while the throughput work lands, and replay stays on its diet.
 var regressionGuards = []benchGuard{
 	{"ServerSelect/warm/n101", "ns_per_op"},
+	// PR 8's overhead guard: the instrumented warm select (per-endpoint
+	// histogram + stage marks, tracing disabled) must add zero
+	// allocations over the PR 7 baseline.
+	{"ServerSelect/warm/n101", "allocs_per_op"},
 	{"ServerTaskCreate/n101", "ns_per_op"},
 	{"ServerTaskVote/n101", "ns_per_op"},
 	{"ServerTaskVote/n101", "allocs_per_op"},

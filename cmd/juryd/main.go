@@ -9,6 +9,7 @@
 //	      [-timeout 5s] [-max-timeout 30s] [-drain 10s] [-drain-delay 0s]
 //	      [-wal-dir DIR] [-fsync batch] [-compact-every N] [-task-shards N]
 //	      [-sweep 1s] [-juror-timeout 60s] [-task-expiry 1h]
+//	      [-slow-ms N] [-trace-every N] [-trace-ring N] [-pprof-addr ADDR]
 //
 // Endpoints:
 //
@@ -23,8 +24,18 @@
 //	PUT    /v1/pools/{name}/jurors   replace the pool
 //	PATCH  /v1/pools/{name}/jurors   incremental updates / observed votes
 //	DELETE /v1/pools/{name}          drop the pool
-//	GET    /healthz                  200 serving / 503 draining
-//	GET    /metrics                  request, shed, engine, task and WAL counters
+//	GET    /healthz                  200 serving / 503 draining (plus WAL queue depth)
+//	GET    /metrics                  request, shed, engine, task and WAL counters (JSON)
+//	GET    /metrics/prometheus       the same counters in Prometheus text format
+//	GET    /debug/traces             recent request traces with per-stage timing
+//
+// Observability: every endpoint keeps an always-on latency histogram
+// (JSON summaries under /metrics, full buckets under
+// /metrics/prometheus). -trace-every N samples every Nth request into
+// the /debug/traces ring; -slow-ms N logs (and always traces) requests
+// at least that slow. -pprof-addr serves net/http/pprof on a separate
+// listener, kept off the service port so profiling is never exposed
+// through the load balancer.
 //
 // Durability: with -wal-dir set, every pool and task mutation is
 // journaled to a CRC-framed write-ahead log (fsync policy per -fsync:
@@ -60,9 +71,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -106,6 +118,11 @@ type config struct {
 	sweep        time.Duration
 	jurorTimeout time.Duration
 	taskExpiry   time.Duration
+
+	slowMS     int
+	traceEvery int
+	traceRing  int
+	pprofAddr  string
 }
 
 func main() {
@@ -128,6 +145,10 @@ func main() {
 	flag.DurationVar(&cfg.sweep, "sweep", time.Second, "juror-timeout/expiry sweep period (0 = no sweeper)")
 	flag.DurationVar(&cfg.jurorTimeout, "juror-timeout", 0, "default juror response timeout (0 = 60s)")
 	flag.DurationVar(&cfg.taskExpiry, "task-expiry", 0, "default task expiry (0 = 1h)")
+	flag.IntVar(&cfg.slowMS, "slow-ms", 0, "log and trace requests at least this slow, in milliseconds (0 = off)")
+	flag.IntVar(&cfg.traceEvery, "trace-every", 0, "sample every Nth request into /debug/traces (0 = off)")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "trace ring capacity (0 = default)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,9 +159,10 @@ func main() {
 	hurry := make(chan os.Signal, 1)
 	signal.Notify(hurry, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(hurry)
-	logger := log.New(os.Stderr, "juryd: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if err := run(ctx, cfg, logger, nil, hurry); err != nil {
-		logger.Fatal(err)
+		logger.Error("juryd failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -149,7 +171,7 @@ func main() {
 // is up (used by the tests to serve on a kernel-picked port). A receive
 // on hurry (a second shutdown signal) cuts the -drain-delay window
 // short; nil disables that escalation.
-func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- string, hurry <-chan os.Signal) error {
+func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- string, hurry <-chan os.Signal) error {
 	var syncMode tasks.SyncMode
 	switch cfg.fsync {
 	case "always":
@@ -177,10 +199,15 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 	defer store.Close() //nolint:errcheck // re-closed explicitly after drain
 	if store.Durable() {
 		rec := store.Recovery()
-		logger.Printf("wal %s: recovered %d records in %s (%d pools, %d tasks, snapshot=%v)",
-			cfg.walDir, rec.Records, rec.Duration.Round(time.Microsecond), rec.Pools, rec.Tasks, rec.SnapshotLoaded)
+		logger.Info("wal recovered",
+			"dir", cfg.walDir,
+			"records", rec.Records,
+			"duration", rec.Duration.Round(time.Microsecond).String(),
+			"pools", rec.Pools,
+			"tasks", rec.Tasks,
+			"snapshot", rec.SnapshotLoaded)
 		if rec.TornBytes > 0 {
-			logger.Printf("wal: truncated %d-byte torn tail (crash mid-write)", rec.TornBytes)
+			logger.Warn("wal truncated torn tail (crash mid-write)", "bytes", rec.TornBytes)
 		}
 	}
 	srv := server.New(server.Config{
@@ -191,6 +218,10 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 		SelectCacheEntries: cfg.selectCache,
 		DefaultTimeout:     cfg.timeout,
 		MaxTimeout:         cfg.maxTimeout,
+		SlowRequest:        time.Duration(cfg.slowMS) * time.Millisecond,
+		TraceEvery:         cfg.traceEvery,
+		TraceRingSize:      cfg.traceRing,
+		Logger:             logger,
 	})
 	for _, spec := range cfg.pools {
 		name, size, skipped, err := loadPool(store, spec)
@@ -198,9 +229,9 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 			return err
 		}
 		if skipped {
-			logger.Printf("pool %q already recovered from the WAL; skipping preload", name)
+			logger.Info("pool already recovered from the WAL; skipping preload", "pool", name)
 		} else {
-			logger.Printf("loaded pool %q (%d jurors)", name, size)
+			logger.Info("loaded pool", "pool", name, "jurors", size)
 		}
 	}
 
@@ -230,18 +261,26 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 					return
 				case <-ticker.C:
 					if _, _, err := store.Sweep(time.Now().UTC()); err != nil {
-						logger.Printf("sweep: %v", err)
+						logger.Error("sweep failed", "err", err)
 					}
 				}
 			}
 		}()
 	}
 
+	if cfg.pprofAddr != "" {
+		stopPprof, err := servePprof(cfg.pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving on %s", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -264,14 +303,14 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 	// routing here (Shutdown closes listeners immediately, which a
 	// health prober would see as ECONNREFUSED, not a drain), then let
 	// in-flight and queued requests finish.
-	logger.Printf("draining (up to %s)", cfg.drain)
+	logger.Info("draining", "grace", cfg.drain.String())
 	srv.SetDraining(true)
 	if cfg.drainDelay > 0 {
-		logger.Printf("healthz now 503; deregistration window %s", cfg.drainDelay)
+		logger.Info("healthz now 503; deregistration window open", "window", cfg.drainDelay.String())
 		select {
 		case <-time.After(cfg.drainDelay):
 		case <-hurry:
-			logger.Printf("second signal: skipping the rest of the deregistration window")
+			logger.Info("second signal: skipping the rest of the deregistration window")
 		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
@@ -286,8 +325,32 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ready chan<- strin
 	if err := store.Close(); err != nil {
 		return fmt.Errorf("closing task store: %w", err)
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
+}
+
+// servePprof starts the opt-in profiling listener on its own mux, so
+// /debug/pprof is reachable only through -pprof-addr and never through
+// the service port. The returned stop closes the listener.
+func servePprof(addr string, logger *slog.Logger) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	psrv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := psrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("pprof server failed", "err", err)
+		}
+	}()
+	logger.Info("pprof serving", "addr", ln.Addr().String())
+	return func() { psrv.Close() }, nil //nolint:errcheck
 }
 
 // loadPool parses one -pool flag ("name=path") and loads the file

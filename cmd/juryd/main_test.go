@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -92,7 +92,7 @@ func TestRunServesAndDrainsCleanly(t *testing.T) {
 			addr:  "127.0.0.1:0",
 			pools: poolFlags{"crowd=" + csvPath},
 			drain: 5 * time.Second,
-		}, log.New(&logBuf, "", 0), ready, nil)
+		}, slog.New(slog.NewTextHandler(&logBuf, nil)), ready, nil)
 	}()
 
 	var addr string
@@ -166,7 +166,7 @@ func TestDrainDelayKeepsHealthzObservable(t *testing.T) {
 			addr:       "127.0.0.1:0",
 			drain:      5 * time.Second,
 			drainDelay: 1500 * time.Millisecond,
-		}, log.New(io.Discard, "", 0), ready, nil)
+		}, slog.New(slog.NewTextHandler(io.Discard, nil)), ready, nil)
 	}()
 	var addr string
 	select {
@@ -225,7 +225,7 @@ func TestRunTaskLifecycleSurvivesRestart(t *testing.T) {
 				walDir: walDir,
 				fsync:  "always",
 				sweep:  0, // deterministic: no wall-clock sweeps mid-test
-			}, log.New(io.Discard, "", 0), ready, nil)
+			}, slog.New(slog.NewTextHandler(io.Discard, nil)), ready, nil)
 		}()
 		select {
 		case addr = <-ready:
@@ -320,7 +320,7 @@ func TestRunFailsOnBadPoolFlag(t *testing.T) {
 		addr:  "127.0.0.1:0",
 		pools: poolFlags{"broken"},
 		drain: time.Second,
-	}, log.New(io.Discard, "", 0), nil, nil)
+	}, slog.New(slog.NewTextHandler(io.Discard, nil)), nil, nil)
 	if err == nil {
 		t.Fatal("bad -pool accepted")
 	}
@@ -333,7 +333,7 @@ func TestRunFailsOnUnbindableAddr(t *testing.T) {
 	err := run(context.Background(), config{
 		addr:  "256.0.0.1:1",
 		drain: time.Second,
-	}, log.New(io.Discard, "", 0), nil, nil)
+	}, slog.New(slog.NewTextHandler(io.Discard, nil)), nil, nil)
 	if err == nil {
 		t.Fatal("unbindable address accepted")
 	}

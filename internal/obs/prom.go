@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prom writes the Prometheus text exposition format (version 0.0.4)
+// into a bytes-like writer. It is a thin sequencing helper: Header once
+// per metric family, then one Sample (or HistogramNS) per series. The
+// caller owns buffering and error handling via the underlying writer.
+type Prom struct {
+	w io.Writer
+}
+
+// NewProm returns a writer targeting w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// Header emits the # HELP / # TYPE preamble for one metric family.
+// typ is "counter", "gauge" or "histogram".
+func (p *Prom) Header(name, typ, help string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one series sample. labels is the raw label body without
+// braces (e.g. `endpoint="select_warm"`), empty for an unlabelled
+// series.
+func (p *Prom) Sample(name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s %s\n", name, formatPromValue(v))
+		return
+	}
+	fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, formatPromValue(v))
+}
+
+// HistogramNS emits one histogram series from a nanosecond snapshot,
+// converting bucket bounds to seconds. Buckets are cumulative with
+// le = 2^i ns (every sample in buckets ≤ i is < 2^i ns); empty high
+// buckets are elided, +Inf always emitted. Call Header(name,
+// "histogram", …) once before the first series of the family.
+func (p *Prom) HistogramNS(name, labels string, s HistSnapshot) {
+	top := 0
+	for i, c := range s.Buckets {
+		if c > 0 {
+			top = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		le := formatPromValue(float64(uint64(1)<<uint(i)) / 1e9)
+		p.Sample(name+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	p.Sample(name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(s.Count))
+	p.Sample(name+"_sum", labels, float64(s.Sum)/1e9)
+	p.Sample(name+"_count", labels, float64(s.Count))
+}
+
+// HistogramSeconds emits one histogram series from explicit
+// second-denominated bucket bounds and per-bucket (non-cumulative)
+// counts, as runtime/metrics Float64Histograms provide. bounds[i] is
+// the inclusive upper bound of counts[i]; an infinite last bound is
+// rendered as +Inf.
+func (p *Prom) HistogramSeconds(name, labels string, bounds []float64, counts []uint64, sum float64) {
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if i >= len(bounds) {
+			break
+		}
+		b := bounds[i]
+		le := "+Inf"
+		if b < maxFloat {
+			le = formatPromValue(b)
+		}
+		p.Sample(name+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if len(bounds) == 0 || bounds[len(bounds)-1] < maxFloat {
+		p.Sample(name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(total))
+	}
+	p.Sample(name+"_sum", labels, sum)
+	p.Sample(name+"_count", labels, float64(total))
+}
+
+const maxFloat = 1e300 // treat anything beyond as an infinite bound
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// formatPromValue renders a float the shortest round-trippable way.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed exposition line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its declared type and every
+// sample carrying the family's name (histogram families include the
+// _bucket/_sum/_count samples).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParseProm parses Prometheus text exposition output and validates its
+// structure: every sample belongs to a declared family, histogram
+// bucket counts are cumulative and consistent with _count, and label
+// syntax is well-formed. It exists for the round-trip CI test — the
+// exporter's output must parse by the rules a real scraper applies.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	families := make(map[string]*PromFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("prom: line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				f := familyFor(families, fields[2])
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown type %q", lineNo, fields[3])
+				}
+				familyFor(families, fields[2]).Type = fields[3]
+			default:
+				return nil, fmt.Errorf("prom: line %d: unknown comment %q", lineNo, fields[1])
+			}
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		fam, ok := families[familyName(sample.Name, families)]
+		if !ok {
+			return nil, fmt.Errorf("prom: line %d: sample %q has no TYPE declaration", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("prom: family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func familyFor(m map[string]*PromFamily, name string) *PromFamily {
+	f, ok := m[name]
+	if !ok {
+		f = &PromFamily{Name: name}
+		m[name] = f
+	}
+	return f
+}
+
+// familyName resolves a sample name to its family: histogram samples
+// carry _bucket/_sum/_count suffixes on the family name.
+func familyName(sample string, families map[string]*PromFamily) string {
+	if _, ok := families[sample]; ok {
+		return sample
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base != sample {
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// parsePromSample parses `name{l="v",…} value` or `name value`.
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		body := line[i+1 : end]
+		for _, pair := range splitLabels(body) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return s, fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+			s.Labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
+// validateHistogram checks each series of a histogram family: bucket
+// counts are non-decreasing in le, and the +Inf bucket equals _count.
+func validateHistogram(f *PromFamily) error {
+	type series struct {
+		buckets []PromSample
+		count   float64
+		hasCnt  bool
+	}
+	byKey := map[string]*series{}
+	keyOf := func(s PromSample) string {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, s.Labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		key := keyOf(s)
+		sr, ok := byKey[key]
+		if !ok {
+			sr = &series{}
+			byKey[key] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			sr.buckets = append(sr.buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count, sr.hasCnt = s.Value, true
+		}
+	}
+	for key, sr := range byKey {
+		var prev float64
+		var inf float64
+		var hasInf bool
+		for _, b := range sr.buckets {
+			if b.Value < prev {
+				return fmt.Errorf("prom: %s{%s}: bucket counts not cumulative", f.Name, key)
+			}
+			prev = b.Value
+			if b.Labels["le"] == "+Inf" {
+				inf, hasInf = b.Value, true
+			}
+		}
+		if len(sr.buckets) > 0 && !hasInf {
+			return fmt.Errorf("prom: %s{%s}: missing +Inf bucket", f.Name, key)
+		}
+		if sr.hasCnt && hasInf && inf != sr.count {
+			return fmt.Errorf("prom: %s{%s}: +Inf bucket %v != count %v", f.Name, key, inf, sr.count)
+		}
+	}
+	return nil
+}

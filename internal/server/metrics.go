@@ -3,7 +3,11 @@ package server
 import (
 	"expvar"
 	"net/http"
+	"runtime"
+	runtimemetrics "runtime/metrics"
 	"sync/atomic"
+
+	"juryselect/internal/obs"
 )
 
 // metrics holds the server's counters: expvar vars owned by the Server
@@ -22,18 +26,24 @@ type metrics struct {
 	batchVotes   expvar.Int // successful /v1/tasks/{id}/votes/batch responses
 	taskVerdicts expvar.Int // votes that closed a task with a verdict
 	shed         expvar.Int // requests rejected 429 by admission control
-	errors       expvar.Int // 5xx and 429 responses
+	errors       expvar.Int // 5xx responses (sheds count only under shed)
 
 	queued   atomic.Int64 // requests waiting for an inflight slot
 	draining atomic.Bool  // drain signal for /healthz
 }
 
-// healthResponse is the body of GET /healthz.
+// healthResponse is the body of GET /healthz. The WAL fields appear
+// only when the server fronts a task store: commit-queue depth is the
+// early congestion signal (records appended but not yet durable), and
+// the last-recovery duration tells an operator what a restart costs.
 type healthResponse struct {
 	Status   string `json:"status"` // "ok" or "draining"
 	Pools    int    `json:"pools"`
 	Inflight int    `json:"inflight"`
 	Queued   int    `json:"queued"`
+
+	WALCommitQueueDepth *int64 `json:"wal_commit_queue_depth,omitempty"`
+	LastRecoveryNS      *int64 `json:"last_recovery_ns,omitempty"`
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 once the
@@ -45,6 +55,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Pools:    s.store.Len(),
 		Inflight: len(s.sem),
 		Queued:   int(s.m.queued.Load()),
+	}
+	if s.tasks != nil {
+		depth := s.tasks.Stats().WAL.QueueDepth
+		recovery := s.tasks.Recovery().Duration.Nanoseconds()
+		resp.WALCommitQueueDepth = &depth
+		resp.LastRecoveryNS = &recovery
 	}
 	status := http.StatusOK
 	if s.m.draining.Load() {
@@ -65,7 +81,13 @@ type metricsResponse struct {
 	PoolWrites   int64 `json:"pool_writes"`
 	BatchVotes   int64 `json:"batch_votes"`
 	Shed         int64 `json:"shed"`
-	Errors       int64 `json:"errors"`
+	// Errors counts 5xx responses. Before PR 8 it also counted 429
+	// sheds, double-booking them against Shed; now a response is either
+	// shed or an error, never both. Errors4xx/Errors5xx split the
+	// client/server halves (4xx excludes 429).
+	Errors    int64 `json:"errors"`
+	Errors4xx int64 `json:"errors_4xx"`
+	Errors5xx int64 `json:"errors_5xx"`
 
 	Inflight    int   `json:"inflight"`
 	MaxInflight int   `json:"max_inflight"`
@@ -86,6 +108,32 @@ type metricsResponse struct {
 	// Tasks reports the task-store gauges and WAL counters when the
 	// server fronts a task store; omitted otherwise.
 	Tasks *taskMetrics `json:"tasks,omitempty"`
+
+	// Endpoints maps every instrumented route to its request/error
+	// counts and latency summary; Stages maps each internal request
+	// stage (queue wait, decode, engine, WAL wait, …) to its latency
+	// summary across all requests that passed through it.
+	Endpoints map[string]endpointStats `json:"endpoints"`
+	Stages    map[string]obs.Summary   `json:"stages"`
+
+	// Runtime is the process block: scheduler and heap gauges.
+	Runtime runtimeStats `json:"runtime"`
+}
+
+// endpointStats is one endpoint's JSON block.
+type endpointStats struct {
+	Requests  int64       `json:"requests"`
+	Errors4xx int64       `json:"errors_4xx"`
+	Errors5xx int64       `json:"errors_5xx"`
+	Latency   obs.Summary `json:"latency"`
+}
+
+// runtimeStats is the process-level block of /metrics.
+type runtimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseP99NS   float64 `json:"gc_pause_p99_ns"`
 }
 
 // selectCacheMetrics is the selection cache's observability block.
@@ -118,6 +166,12 @@ type taskMetrics struct {
 	WALFsyncP99NS    int64 `json:"wal_fsync_p99_ns"`
 	WALReplayRecords int64 `json:"wal_replay_records"`
 	WALCompactions   int64 `json:"wal_compactions"`
+	// WALFsync and WALDurableWait summarize the full latency
+	// distributions behind WALFsyncP99NS (which is kept for dashboard
+	// compatibility, now derived from WALFsync): the fsync call itself,
+	// and the append→durable wait a writer experiences.
+	WALFsync       obs.Summary `json:"wal_fsync"`
+	WALDurableWait obs.Summary `json:"wal_durable_wait"`
 
 	// Write-path concurrency health (PR 7): Shards is the configured
 	// shard count and ShardContention the running count of mutations
@@ -164,6 +218,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			WALFsyncBatchHist:   ts.WAL.FsyncBatchSizes[:],
 			WALReplayNS:         s.tasks.Recovery().Duration.Nanoseconds(),
 		}
+		tm.WALFsync = ts.WAL.FsyncHist.Summary()
+		tm.WALDurableWait = ts.WAL.DurableWaitHist.Summary()
 	}
 	var cm *selectCacheMetrics
 	if s.cache != nil {
@@ -174,6 +230,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Entries:   s.cache.len(),
 		}
 	}
+	eps := make(map[string]endpointStats, int(numEndpoints))
+	var errors4xx, errors5xx int64
+	for i := range s.eps {
+		em := &s.eps[i]
+		e4, e5 := em.errors4xx.Load(), em.errors5xx.Load()
+		errors4xx += e4
+		errors5xx += e5
+		snap := em.lat.Snapshot()
+		eps[endpointNames[i]] = endpointStats{
+			Requests:  em.requests.Load(),
+			Errors4xx: e4,
+			Errors5xx: e5,
+			Latency:   snap.Summary(),
+		}
+	}
+	stages := make(map[string]obs.Summary, obs.NumStages)
+	for i := range s.stages {
+		snap := s.stages[i].Snapshot()
+		stages[obs.Stage(i).String()] = snap.Summary()
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Requests:          s.m.requests.Value(),
 		Selections:        s.m.selections.Value(),
@@ -183,6 +259,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		BatchVotes:        s.m.batchVotes.Value(),
 		Shed:              s.m.shed.Value(),
 		Errors:            s.m.errors.Value(),
+		Errors4xx:         errors4xx,
+		Errors5xx:         errors5xx,
 		Inflight:          len(s.sem),
 		MaxInflight:       s.maxInflight,
 		Queued:            s.m.queued.Load(),
@@ -194,5 +272,71 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Pools:             s.store.Len(),
 		SelectCache:       cm,
 		Tasks:             tm,
+		Endpoints:         eps,
+		Stages:            stages,
+		Runtime:           sampleRuntime(),
 	})
+}
+
+// gcPauses reads the runtime's GC pause histogram (seconds).
+func gcPauses() *runtimemetrics.Float64Histogram {
+	samples := []runtimemetrics.Sample{{Name: "/gc/pauses:seconds"}}
+	runtimemetrics.Read(samples)
+	if samples[0].Value.Kind() != runtimemetrics.KindFloat64Histogram {
+		return nil
+	}
+	return samples[0].Value.Float64Histogram()
+}
+
+// float64HistQuantile estimates the q-quantile of a runtime/metrics
+// histogram by cumulative bucket walk, returning the matched bucket's
+// upper bound (or the last finite bound for the top bucket).
+func float64HistQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	lastFinite := 0.0
+	for i, c := range h.Counts {
+		cum += c
+		var hi float64
+		if i+1 < len(h.Buckets) {
+			hi = h.Buckets[i+1]
+		}
+		if hi > 0 && hi < maxFiniteBound {
+			lastFinite = hi
+		}
+		if cum >= target {
+			if hi >= maxFiniteBound || hi == 0 {
+				return lastFinite
+			}
+			return hi
+		}
+	}
+	return lastFinite
+}
+
+const maxFiniteBound = 1e300
+
+// sampleRuntime collects the process gauges for /metrics.
+func sampleRuntime() runtimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		NumGC:          ms.NumGC,
+		GCPauseP99NS:   float64HistQuantile(gcPauses(), 0.99) * 1e9,
+	}
 }

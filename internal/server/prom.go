@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"runtime"
+
+	"juryselect/internal/obs"
+)
+
+// handleMetricsProm serves GET /metrics/prometheus: the same counters
+// as /metrics in the Prometheus text exposition format (0.0.4), for
+// scrapers. The JSON endpoint stays authoritative and unchanged; this
+// endpoint adds the label-structured view — per-endpoint request and
+// latency families, per-stage latencies, WAL histograms, and process
+// gauges — without any client library dependency.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBuf(buf)
+	p := obs.NewProm(buf)
+
+	p.Header("juryd_requests_total", "counter", "Requests by endpoint.")
+	for i := range s.eps {
+		p.Sample("juryd_requests_total", `endpoint="`+endpointNames[i]+`"`,
+			float64(s.eps[i].requests.Load()))
+	}
+	p.Header("juryd_errors_total", "counter", "Error responses by endpoint and class (4xx excludes shed 429s).")
+	for i := range s.eps {
+		em := &s.eps[i]
+		p.Sample("juryd_errors_total", `endpoint="`+endpointNames[i]+`",class="4xx"`,
+			float64(em.errors4xx.Load()))
+		p.Sample("juryd_errors_total", `endpoint="`+endpointNames[i]+`",class="5xx"`,
+			float64(em.errors5xx.Load()))
+	}
+	p.Header("juryd_shed_total", "counter", "Requests shed 429 by admission control.")
+	p.Sample("juryd_shed_total", "", float64(s.m.shed.Value()))
+
+	p.Header("juryd_request_duration_seconds", "histogram", "Request latency by endpoint.")
+	for i := range s.eps {
+		snap := s.eps[i].lat.Snapshot()
+		if snap.Count == 0 {
+			continue // a family's series may appear later; an all-zero histogram says nothing
+		}
+		p.HistogramNS("juryd_request_duration_seconds", `endpoint="`+endpointNames[i]+`"`, snap)
+	}
+	p.Header("juryd_stage_duration_seconds", "histogram", "Internal stage latency across requests.")
+	for i := range s.stages {
+		snap := s.stages[i].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		p.HistogramNS("juryd_stage_duration_seconds", `stage="`+obs.Stage(i).String()+`"`, snap)
+	}
+
+	p.Header("juryd_inflight", "gauge", "Evaluation requests currently executing.")
+	p.Sample("juryd_inflight", "", float64(len(s.sem)))
+	p.Header("juryd_queued", "gauge", "Requests waiting for an inflight slot.")
+	p.Sample("juryd_queued", "", float64(s.m.queued.Load()))
+	p.Header("juryd_pools", "gauge", "Resident juror pools.")
+	p.Sample("juryd_pools", "", float64(s.store.Len()))
+	p.Header("juryd_selections_total", "counter", "Successful select items (single and batch).")
+	p.Sample("juryd_selections_total", "", float64(s.m.selections.Value()))
+
+	est := s.eng.Stats()
+	p.Header("juryd_engine_evaluations_total", "counter", "JER evaluations computed by the engine.")
+	p.Sample("juryd_engine_evaluations_total", "", float64(est.Evaluations))
+	p.Header("juryd_engine_cache_hits_total", "counter", "Engine evaluation cache hits.")
+	p.Sample("juryd_engine_cache_hits_total", "", float64(est.CacheHits))
+
+	if s.cache != nil {
+		p.Header("juryd_select_cache_events_total", "counter", "Select response cache events.")
+		p.Sample("juryd_select_cache_events_total", `event="hit"`, float64(s.cache.hits.Load()))
+		p.Sample("juryd_select_cache_events_total", `event="miss"`, float64(s.cache.misses.Load()))
+		p.Sample("juryd_select_cache_events_total", `event="collapsed"`, float64(s.cache.collapsed.Load()))
+		p.Header("juryd_select_cache_entries", "gauge", "Resident select cache entries.")
+		p.Sample("juryd_select_cache_entries", "", float64(s.cache.len()))
+	}
+
+	if s.tasks != nil {
+		ts := s.tasks.Stats()
+		p.Header("juryd_tasks", "gauge", "Tasks by lifecycle status.")
+		p.Sample("juryd_tasks", `status="open"`, float64(ts.Open))
+		p.Sample("juryd_tasks", `status="awaiting_votes"`, float64(ts.AwaitingVotes))
+		p.Sample("juryd_tasks", `status="decided"`, float64(ts.Decided))
+		p.Sample("juryd_tasks", `status="expired"`, float64(ts.Expired))
+		p.Header("juryd_wal_appends_total", "counter", "WAL records appended.")
+		p.Sample("juryd_wal_appends_total", "", float64(ts.WAL.Appends))
+		p.Header("juryd_wal_fsyncs_total", "counter", "WAL fsync calls.")
+		p.Sample("juryd_wal_fsyncs_total", "", float64(ts.WAL.Fsyncs))
+		p.Header("juryd_wal_commit_queue_depth", "gauge", "Appended records not yet durable.")
+		p.Sample("juryd_wal_commit_queue_depth", "", float64(ts.WAL.QueueDepth))
+		if ts.WAL.FsyncHist.Count > 0 {
+			p.Header("juryd_wal_fsync_duration_seconds", "histogram", "WAL fsync call latency.")
+			p.HistogramNS("juryd_wal_fsync_duration_seconds", "", ts.WAL.FsyncHist)
+		}
+		if ts.WAL.DurableWaitHist.Count > 0 {
+			p.Header("juryd_wal_durable_wait_seconds", "histogram", "Append-to-durable wait seen by writers.")
+			p.HistogramNS("juryd_wal_durable_wait_seconds", "", ts.WAL.DurableWaitHist)
+		}
+	}
+
+	p.Header("juryd_traces_total", "counter", "Request traces captured into the debug ring.")
+	p.Sample("juryd_traces_total", "", float64(s.ring.Total()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Header("juryd_goroutines", "gauge", "Live goroutines.")
+	p.Sample("juryd_goroutines", "", float64(runtime.NumGoroutine()))
+	p.Header("juryd_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	p.Sample("juryd_heap_alloc_bytes", "", float64(ms.HeapAlloc))
+	if gc := gcPauses(); gc != nil {
+		p.Header("juryd_gc_pause_seconds", "histogram", "Stop-the-world GC pause durations.")
+		var sum float64
+		for i, c := range gc.Counts {
+			// Approximate the sum with bucket lower bounds; the runtime
+			// does not track an exact pause sum at this granularity.
+			if c > 0 && i < len(gc.Buckets) && gc.Buckets[i] > 0 && gc.Buckets[i] < maxFiniteBound {
+				sum += float64(c) * gc.Buckets[i]
+			}
+		}
+		p.HistogramSeconds("juryd_gc_pause_seconds", "", gc.Buckets[1:], gc.Counts, sum)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) //nolint:errcheck
+}

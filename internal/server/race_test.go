@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary runs under the race
+// detector, which deliberately degrades sync.Pool reuse — allocation
+// guards are meaningless there and skip themselves.
+const raceEnabled = true

@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"juryselect/internal/core"
 	"juryselect/internal/dataio"
+	"juryselect/internal/obs"
 	"juryselect/internal/pbdist"
 	"juryselect/internal/tasks"
 	"juryselect/jury"
@@ -77,6 +80,17 @@ type Config struct {
 	// POST /v1/tasks/{id}/votes/batch request. Zero selects
 	// DefaultMaxBatchItems.
 	MaxBatchItems int
+	// SlowRequest logs (and always traces) requests that take at least
+	// this long. Zero disables the slow-request log.
+	SlowRequest time.Duration
+	// TraceEvery samples every Nth request into the trace ring served at
+	// GET /debug/traces (1 = every request). Zero disables sampling;
+	// slow requests are still captured when SlowRequest is set.
+	TraceEvery int
+	// TraceRingSize bounds the trace ring (0 = obs.DefaultTraceRing).
+	TraceRingSize int
+	// Logger receives slow-request warnings; nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // Server serves jury selection over HTTP/JSON. Construct with New, mount
@@ -98,6 +112,17 @@ type Server struct {
 	sem   chan struct{} // inflight slots for evaluation requests
 	m     metrics
 	mux   *http.ServeMux
+
+	// Observability (PR 8): always-on per-endpoint and per-stage latency
+	// histograms, plus the sampled trace ring behind /debug/traces.
+	eps        [numEndpoints]endpointMetrics
+	stages     [obs.NumStages]obs.Histogram
+	ring       *obs.TraceRing
+	traceSeq   atomic.Int64 // request counter driving 1-in-N sampling
+	traceTotal atomic.Int64 // trace IDs
+	traceEvery int
+	slowNS     int64
+	logger     *slog.Logger
 }
 
 // New returns a Server with the given configuration.
@@ -154,23 +179,29 @@ func New(cfg Config) *Server {
 		s.cache = newSelectCache(cfg.SelectCacheEntries)
 	}
 	s.sem = make(chan struct{}, s.maxInflight)
+	s.slowNS = cfg.SlowRequest.Nanoseconds()
+	s.traceEvery = cfg.TraceEvery
+	s.ring = obs.NewTraceRing(cfg.TraceRingSize)
+	s.logger = slogLogger(cfg.Logger)
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jer", s.counted(s.handleJER))
-	s.mux.HandleFunc("POST /v1/select", s.counted(s.handleSelect))
-	s.mux.HandleFunc("POST /v1/select/batch", s.counted(s.handleSelectBatch))
-	s.mux.HandleFunc("GET /v1/pools", s.counted(s.handlePoolList))
-	s.mux.HandleFunc("GET /v1/pools/{name}", s.counted(s.handlePoolGet))
-	s.mux.HandleFunc("PUT /v1/pools/{name}/jurors", s.counted(s.handlePoolPut))
-	s.mux.HandleFunc("PATCH /v1/pools/{name}/jurors", s.counted(s.handlePoolPatch))
-	s.mux.HandleFunc("DELETE /v1/pools/{name}", s.counted(s.handlePoolDelete))
-	s.mux.HandleFunc("POST /v1/tasks", s.counted(s.requireTasks(s.handleTaskCreate)))
-	s.mux.HandleFunc("GET /v1/tasks", s.counted(s.requireTasks(s.handleTaskList)))
-	s.mux.HandleFunc("GET /v1/tasks/{id}", s.counted(s.requireTasks(s.handleTaskGet)))
-	s.mux.HandleFunc("POST /v1/tasks/{id}/votes", s.counted(s.requireTasks(s.handleTaskVote)))
-	s.mux.HandleFunc("POST /v1/tasks/{id}/votes/batch", s.counted(s.requireTasks(s.handleTaskVoteBatch)))
+	s.mux.HandleFunc("POST /v1/jer", s.instrument(epJER, s.handleJER))
+	s.mux.HandleFunc("POST /v1/select", s.instrument(epSelectMiss, s.handleSelect))
+	s.mux.HandleFunc("POST /v1/select/batch", s.instrument(epSelectBatch, s.handleSelectBatch))
+	s.mux.HandleFunc("GET /v1/pools", s.instrument(epPoolList, s.handlePoolList))
+	s.mux.HandleFunc("GET /v1/pools/{name}", s.instrument(epPoolGet, s.handlePoolGet))
+	s.mux.HandleFunc("PUT /v1/pools/{name}/jurors", s.instrument(epPoolPut, s.handlePoolPut))
+	s.mux.HandleFunc("PATCH /v1/pools/{name}/jurors", s.instrument(epPoolPatch, s.handlePoolPatch))
+	s.mux.HandleFunc("DELETE /v1/pools/{name}", s.instrument(epPoolDelete, s.handlePoolDelete))
+	s.mux.HandleFunc("POST /v1/tasks", s.instrument(epTaskCreate, s.requireTasks(s.handleTaskCreate)))
+	s.mux.HandleFunc("GET /v1/tasks", s.instrument(epTaskList, s.requireTasks(s.handleTaskList)))
+	s.mux.HandleFunc("GET /v1/tasks/{id}", s.instrument(epTaskGet, s.requireTasks(s.handleTaskGet)))
+	s.mux.HandleFunc("POST /v1/tasks/{id}/votes", s.instrument(epTaskVote, s.requireTasks(s.handleTaskVote)))
+	s.mux.HandleFunc("POST /v1/tasks/{id}/votes/batch", s.instrument(epTaskVoteBatch, s.requireTasks(s.handleTaskVoteBatch)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/prometheus", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	return s
 }
 
@@ -249,14 +280,6 @@ func (s *Server) deadline(timeoutMS int64) (time.Duration, error) {
 	return d, nil
 }
 
-// counted wraps a handler with the request counter.
-func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.m.requests.Add(1)
-		h(w, r)
-	}
-}
-
 // bufPool recycles the request-read and response-encode buffers across
 // requests: the steady-state serving paths (selects, votes) otherwise
 // re-allocate a body-sized buffer per call. Buffers that ballooned past
@@ -292,6 +315,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error 
 	if err := dec.Decode(into); err != nil {
 		return badRequest("decoding request body: %v", err)
 	}
+	mark(w, obs.StageDecode)
 	return nil
 }
 
@@ -315,6 +339,7 @@ func writeRawJSON(w http.ResponseWriter, status int, raw []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(raw) //nolint:errcheck // headers are already out
+	mark(w, obs.StageEncode)
 }
 
 // fail maps an error to its HTTP status and writes the JSON error body.
@@ -345,9 +370,6 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
-	if status >= 500 || status == http.StatusTooManyRequests {
-		s.m.errors.Add(1)
-	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
@@ -374,12 +396,14 @@ func (s *Server) handleJER(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	mark(w, obs.StageQueueWait)
 	defer release()
 	v, err := s.eng.JERContext(ctx, req.ErrorRates)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	mark(w, obs.StageEngine)
 	s.m.jerServed.Add(1)
 	writeJSON(w, http.StatusOK, JERResponse{JER: v, Size: len(req.ErrorRates)})
 }
@@ -496,33 +520,42 @@ func (s *Server) computeSelectRaw(ctx context.Context, p selectPlan) ([]byte, er
 	return append(raw, '\n'), nil
 }
 
-// selectRaw resolves one plan to response bytes. Pool-backed selects go
-// through the version-keyed cache: a warm key returns resident bytes
-// without touching admission control, the engine, or the encoder; a
-// cold key computes once under singleflight with only the flight leader
-// holding an admission slot. Inline-candidate selects (arbitrary client
-// payloads, no version to key on) always compute.
-func (s *Server) selectRaw(ctx context.Context, p selectPlan) ([]byte, error) {
+// selectRaw resolves one plan to response bytes, reporting whether the
+// version-keyed cache served it. Pool-backed selects go through the
+// cache: a warm key returns resident bytes without touching admission
+// control, the engine, or the encoder; a cold key computes once under
+// singleflight with only the flight leader holding an admission slot.
+// Inline-candidate selects (arbitrary client payloads, no version to
+// key on) always compute. w carries the stage recorder; a follower
+// collapsed onto another flight books its wait as engine time.
+func (s *Server) selectRaw(ctx context.Context, w http.ResponseWriter, p selectPlan) ([]byte, bool, error) {
 	if p.pool != nil && s.cache != nil {
 		key := selectKey{pool: p.pool.Name, version: p.pool.Version, kind: p.kind, budget: p.req.Budget}
 		if raw, ok := s.cache.get(key); ok {
-			return raw, nil
+			mark(w, obs.StageCacheProbe)
+			return raw, true, nil
 		}
-		return s.cache.do(key, func() ([]byte, error) {
+		raw, err := s.cache.do(key, func() ([]byte, error) {
 			release, err := s.admit(ctx)
 			if err != nil {
 				return nil, err
 			}
+			mark(w, obs.StageQueueWait)
 			defer release()
 			return s.computeSelectRaw(ctx, p)
 		})
+		mark(w, obs.StageEngine)
+		return raw, false, err
 	}
 	release, err := s.admit(ctx)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	mark(w, obs.StageQueueWait)
 	defer release()
-	return s.computeSelectRaw(ctx, p)
+	raw, err := s.computeSelectRaw(ctx, p)
+	mark(w, obs.StageEngine)
+	return raw, false, err
 }
 
 // handleSelect serves POST /v1/select: pick the minimum-JER jury from a
@@ -543,12 +576,16 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	mark(w, obs.StageSnapshot)
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	raw, err := s.selectRaw(ctx, plan)
+	raw, hit, err := s.selectRaw(ctx, w, plan)
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	if hit {
+		setEndpoint(w, epSelectWarm)
 	}
 	s.m.selections.Add(1)
 	writeRawJSON(w, http.StatusOK, raw)
@@ -592,7 +629,7 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 		plan, err := s.parseSelect(&req.Selects[i])
 		var raw []byte
 		if err == nil {
-			raw, err = s.selectRaw(ctx, plan)
+			raw, _, err = s.selectRaw(ctx, w, plan)
 		}
 		if err != nil {
 			item, merr := json.Marshal(errorResponse{Error: err.Error()})
@@ -649,6 +686,7 @@ func (s *Server) handlePoolPut(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("%v", err))
 		return
 	}
+	mark(w, obs.StageStore)
 	s.m.poolWrites.Add(1)
 	writeJSON(w, http.StatusOK, poolResponse(p, false))
 }
@@ -678,6 +716,7 @@ func (s *Server) handlePoolPatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	mark(w, obs.StageStore)
 	s.m.poolWrites.Add(1)
 	writeJSON(w, http.StatusOK, poolResponse(p, false))
 }
@@ -694,6 +733,7 @@ func (s *Server) handlePoolDelete(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, fmt.Errorf("%w: %q", ErrPoolNotFound, name))
 		return
 	}
+	mark(w, obs.StageStore)
 	s.m.poolWrites.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"juryselect/internal/obs"
 	"juryselect/internal/tasks"
 )
 
@@ -84,8 +85,9 @@ func (s *Server) handleTaskCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	mark(w, obs.StageQueueWait)
 	defer release()
-	view, err := s.tasks.Create(ctx, tasks.Spec{
+	view, err := s.tasks.Create(s.traceCtx(ctx, w), tasks.Spec{
 		Pool:             req.Pool,
 		Question:         req.Question,
 		Strategy:         req.Strategy,
@@ -99,6 +101,7 @@ func (s *Server) handleTaskCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	mark(w, obs.StageStore)
 	s.m.taskCreates.Add(1)
 	writeJSON(w, http.StatusCreated, TaskResponse{Task: view})
 }
@@ -145,14 +148,15 @@ func (s *Server) handleTaskVote(w http.ResponseWriter, r *http.Request) {
 		view tasks.View
 		err  error
 	)
+	ctx := s.traceCtx(r.Context(), w)
 	switch {
 	case req.Decline && req.Vote != nil:
 		s.fail(w, badRequest("vote and decline are mutually exclusive"))
 		return
 	case req.Decline:
-		view, err = s.tasks.Decline(id, req.JurorID)
+		view, err = s.tasks.Decline(ctx, id, req.JurorID)
 	case req.Vote != nil:
-		view, err = s.tasks.Vote(id, req.JurorID, *req.Vote)
+		view, err = s.tasks.Vote(ctx, id, req.JurorID, *req.Vote)
 	default:
 		s.fail(w, badRequest("body must carry vote or decline"))
 		return
@@ -161,6 +165,7 @@ func (s *Server) handleTaskVote(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	mark(w, obs.StageStore)
 	s.m.taskVotes.Add(1)
 	if view.Status == tasks.StatusDecided && view.Verdict != nil {
 		s.m.taskVerdicts.Add(1)
@@ -216,6 +221,7 @@ func (s *Server) handleTaskVoteBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := TaskVoteBatchResponse{Results: make([]TaskVoteBatchResult, len(req.Votes))}
+	ctx := s.traceCtx(r.Context(), w)
 	var (
 		view    tasks.View
 		applied bool
@@ -235,9 +241,9 @@ func (s *Server) handleTaskVoteBatch(w http.ResponseWriter, r *http.Request) {
 		default:
 			var err error
 			if v.Decline {
-				view, err = s.tasks.Decline(id, v.JurorID)
+				view, err = s.tasks.Decline(ctx, id, v.JurorID)
 			} else {
-				view, err = s.tasks.Vote(id, v.JurorID, *v.Vote)
+				view, err = s.tasks.Vote(ctx, id, v.JurorID, *v.Vote)
 			}
 			switch {
 			case errors.Is(err, tasks.ErrTaskNotFound):
@@ -269,6 +275,7 @@ func (s *Server) handleTaskVoteBatch(w http.ResponseWriter, r *http.Request) {
 		view = v
 	}
 	resp.Task = view
+	mark(w, obs.StageStore)
 	s.m.batchVotes.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }

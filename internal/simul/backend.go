@@ -209,16 +209,16 @@ func (lb *localBackend) CreateTask(ctx context.Context, name string, sc Scenario
 	return out, nil
 }
 
-func (lb *localBackend) TaskVote(_ context.Context, id, juror string, voteYes bool) (taskProgress, error) {
-	view, err := lb.tasks.Vote(id, juror, voteYes)
+func (lb *localBackend) TaskVote(ctx context.Context, id, juror string, voteYes bool) (taskProgress, error) {
+	view, err := lb.tasks.Vote(ctx, id, juror, voteYes)
 	if err != nil {
 		return taskProgress{}, err
 	}
 	return progressFromView(view), nil
 }
 
-func (lb *localBackend) TaskDecline(_ context.Context, id, juror string) (taskProgress, error) {
-	view, err := lb.tasks.Decline(id, juror)
+func (lb *localBackend) TaskDecline(ctx context.Context, id, juror string) (taskProgress, error) {
+	view, err := lb.tasks.Decline(ctx, id, juror)
 	if err != nil {
 		return taskProgress{}, err
 	}
@@ -228,7 +228,7 @@ func (lb *localBackend) TaskDecline(_ context.Context, id, juror string) (taskPr
 // TaskVoteBatch mirrors internal/server.handleTaskVoteBatch exactly —
 // sequential application, skip-after-close, per-item errors — so the
 // in-process and HTTP backends report identical batch outcomes.
-func (lb *localBackend) TaskVoteBatch(_ context.Context, id string, ops []voteOp) ([]voteResult, taskProgress, error) {
+func (lb *localBackend) TaskVoteBatch(ctx context.Context, id string, ops []voteOp) ([]voteResult, taskProgress, error) {
 	results := make([]voteResult, len(ops))
 	var (
 		view    tasks.View
@@ -242,9 +242,9 @@ func (lb *localBackend) TaskVoteBatch(_ context.Context, id string, ops []voteOp
 		}
 		var err error
 		if op.Decline {
-			view, err = lb.tasks.Decline(id, op.JurorID)
+			view, err = lb.tasks.Decline(ctx, id, op.JurorID)
 		} else {
-			view, err = lb.tasks.Vote(id, op.JurorID, op.Vote)
+			view, err = lb.tasks.Vote(ctx, id, op.JurorID, op.Vote)
 		}
 		switch {
 		case errors.Is(err, tasks.ErrTaskNotFound):

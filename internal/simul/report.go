@@ -2,7 +2,8 @@ package simul
 
 import (
 	"encoding/json"
-	"sort"
+
+	"juryselect/internal/obs"
 )
 
 // ReportSchema identifies the metrics JSON format.
@@ -69,28 +70,24 @@ type LatencySummary struct {
 	MaxNS  int64   `json:"max_ns"`
 }
 
-// summarizeLatency builds a LatencySummary from raw nanosecond samples.
-func summarizeLatency(ns []int64) *LatencySummary {
-	if len(ns) == 0 {
+// summarizeHist builds a LatencySummary from the replication's latency
+// histogram, or nil when nothing was measured (in-process runs record no
+// wall-clock latency, keeping the deterministic report byte-stable).
+// Count, mean and max are exact; the percentiles carry the histogram's
+// factor-of-2 bucket resolution — the trade for recording fixed-size
+// state instead of an unbounded sample slice on a hot loop.
+func summarizeHist(h *obs.Histogram) *LatencySummary {
+	s := h.Snapshot()
+	if s.Count == 0 {
 		return nil
 	}
-	sorted := append([]int64(nil), ns...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	sum := 0.0
-	for _, v := range sorted {
-		sum += float64(v)
-	}
-	pct := func(p float64) int64 {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
 	return &LatencySummary{
-		Count:  len(sorted),
-		MeanNS: sum / float64(len(sorted)),
-		P50NS:  pct(0.50),
-		P95NS:  pct(0.95),
-		P99NS:  pct(0.99),
-		MaxNS:  sorted[len(sorted)-1],
+		Count:  int(s.Count),
+		MeanNS: s.Mean(),
+		P50NS:  s.Quantile(0.50),
+		P95NS:  s.Quantile(0.95),
+		P99NS:  s.Quantile(0.99),
+		MaxNS:  s.Max,
 	}
 }
 

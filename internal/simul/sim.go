@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"juryselect/internal/core"
+	"juryselect/internal/obs"
 	"juryselect/internal/server"
 	"juryselect/jury"
 )
@@ -39,7 +40,7 @@ func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *
 	res := RepResult{Replication: rep, Steps: sc.Steps}
 	var (
 		records        []StepRecord // always built; exported only when tracing
-		latencies      []int64
+		latHist        obs.Histogram
 		sumRegret      float64
 		sumCalibration float64
 		sumJurySize    int
@@ -90,7 +91,7 @@ func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *
 			// Shed attempts are fast rejections; folding them in would
 			// deflate the latency summary exactly when the service is
 			// overloaded.
-			latencies = append(latencies, out.LatencyNS)
+			latHist.Observe(out.LatencyNS)
 		}
 		if out.PoolVersion > res.FinalPoolVersion {
 			res.FinalPoolVersion = out.PoolVersion
@@ -204,7 +205,7 @@ func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *
 		res.MeanJurySize = float64(sumJurySize) / float64(scored)
 	}
 	res.Windows = windowize(sc, records)
-	res.Latency = summarizeLatency(latencies)
+	res.Latency = summarizeHist(&latHist)
 	if trace {
 		res.Trace = records
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"juryselect/internal/obs"
 	"juryselect/internal/server"
 	"juryselect/jury"
 )
@@ -39,7 +40,7 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 	res := RepResult{Replication: rep, Steps: sc.Steps}
 	var (
 		records        []StepRecord
-		latencies      []int64
+		latHist        obs.Histogram
 		sumRegret      float64
 		sumCalibration float64
 		sumJurySize    int
@@ -77,7 +78,7 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 		}
 		res.Retries += out.Retried
 		if out.LatencyNS > 0 && !shed {
-			latencies = append(latencies, out.LatencyNS)
+			latHist.Observe(out.LatencyNS)
 		}
 		if out.PoolVersion > res.FinalPoolVersion {
 			res.FinalPoolVersion = out.PoolVersion
@@ -200,7 +201,7 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 		res.MeanVotesSpent = float64(res.TotalVotes) / float64(scored)
 	}
 	res.Windows = windowize(sc, records)
-	res.Latency = summarizeLatency(latencies)
+	res.Latency = summarizeHist(&latHist)
 	if trace {
 		res.Trace = records
 	}

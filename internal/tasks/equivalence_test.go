@@ -62,9 +62,9 @@ func TestShardedStoreEquivalence(t *testing.T) {
 					j := v.Jurors[k]
 					var opErr error
 					if k%declineEveryN == declineEveryN-1 {
-						_, opErr = s.Decline(v.ID, j.ID)
+						_, opErr = s.Decline(context.Background(), v.ID, j.ID)
 					} else {
-						_, opErr = s.Vote(v.ID, j.ID, rng.Intn(4) != 0)
+						_, opErr = s.Vote(context.Background(), v.ID, j.ID, rng.Intn(4) != 0)
 					}
 					// ErrTaskClosed is the early-stop skip: the posterior
 					// crossed the target and later jurors' votes are refused.
@@ -174,7 +174,7 @@ func TestShardedConcurrentReads(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, j := range v.Jurors {
-			if _, err := s.Vote(v.ID, j.ID, true); err != nil && !errors.Is(err, ErrTaskClosed) {
+			if _, err := s.Vote(context.Background(), v.ID, j.ID, true); err != nil && !errors.Is(err, ErrTaskClosed) {
 				t.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -173,7 +174,7 @@ func TestReplayLegacyJSONLog(t *testing.T) {
 	}
 	// New mutations on the recovered store journal in the binary
 	// framing; a second recovery replays the mixed log.
-	if _, err := s.Vote("t00000000", "c", true); err != nil {
+	if _, err := s.Vote(context.Background(), "t00000000", "c", true); err != nil {
 		t.Fatal(err)
 	}
 	before := v

@@ -57,7 +57,7 @@ func buildBusyStore(t *testing.T, dir string, clk *fakeClock) *Store {
 		t.Fatal(err)
 	}
 	for _, j := range v0.Jurors {
-		view, err := s.Vote(v0.ID, j.ID, true)
+		view, err := s.Vote(context.Background(), v0.ID, j.ID, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,9 +72,9 @@ func buildBusyStore(t *testing.T, dir string, clk *fakeClock) *Store {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Vote(v1.ID, v1.Jurors[0].ID, true)  //nolint:errcheck
-	s.Vote(v1.ID, v1.Jurors[1].ID, false) //nolint:errcheck
-	if _, err := s.Decline(v1.ID, v1.Jurors[2].ID); err != nil {
+	s.Vote(context.Background(), v1.ID, v1.Jurors[0].ID, true)  //nolint:errcheck
+	s.Vote(context.Background(), v1.ID, v1.Jurors[1].ID, false) //nolint:errcheck
+	if _, err := s.Decline(context.Background(), v1.ID, v1.Jurors[2].ID); err != nil {
 		t.Fatal(err)
 	}
 
@@ -162,7 +162,7 @@ func TestRecoveryTornTail(t *testing.T) {
 	var prints [][]byte
 	prints = append(prints, storeFingerprint(t, s))
 	for _, j := range v.Jurors {
-		if _, err := s.Vote(v.ID, j.ID, true); err != nil {
+		if _, err := s.Vote(context.Background(), v.ID, j.ID, true); err != nil {
 			t.Fatal(err)
 		}
 		prints = append(prints, storeFingerprint(t, s))
@@ -202,7 +202,7 @@ func TestRecoveryTornTail(t *testing.T) {
 	}
 	// The lost vote can simply be re-submitted.
 	lost := v.Jurors[len(v.Jurors)-1]
-	view, err := s2.Vote(v.ID, lost.ID, true)
+	view, err := s2.Vote(context.Background(), v.ID, lost.ID, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestCompactionRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Vote(v.ID, v.Jurors[0].ID, false); err != nil {
+	if _, err := s.Vote(context.Background(), v.ID, v.Jurors[0].ID, false); err != nil {
 		t.Fatal(err)
 	}
 	withNew := storeFingerprint(t, s)
@@ -366,7 +366,7 @@ func BenchmarkStoreReplay(b *testing.B) {
 		}
 		records++
 		for _, j := range v.Jurors {
-			if _, err := s.Vote(v.ID, j.ID, i%2 == 0); err != nil {
+			if _, err := s.Vote(context.Background(), v.ID, j.ID, i%2 == 0); err != nil {
 				b.Fatal(err)
 			}
 			records++

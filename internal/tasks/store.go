@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"juryselect/internal/estimate"
+	"juryselect/internal/obs"
 	"juryselect/internal/pool"
 	"juryselect/jury"
 )
@@ -518,10 +519,18 @@ func (s *Store) journal(rec *record) (commit, error) {
 // without any store lock so concurrent mutations group-commit into
 // shared fsyncs — only the responder parks here. A record's WAL may
 // have been superseded by a compaction meanwhile; its Close
-// acknowledged everything buffered, so the wait still ends.
-func (s *Store) waitDurable(c commit) error {
+// acknowledged everything buffered, so the wait still ends. A traced
+// request (ctx carries an obs.Trace) gets the wait recorded as a
+// wal_wait span; untraced requests pay no clock reads here.
+func (s *Store) waitDurable(ctx context.Context, c commit) error {
 	if c.wal == nil || c.seq == 0 {
 		return nil
+	}
+	if tr := obs.TraceFromContext(ctx); tr != nil {
+		start := time.Now()
+		err := c.wal.WaitDurable(c.seq)
+		tr.Add(obs.StageWALWait, time.Since(start).Nanoseconds())
+		return err
 	}
 	return c.wal.WaitDurable(c.seq)
 }
@@ -577,7 +586,7 @@ func (s *Store) PutPool(name string, jurors []jury.Juror) (*pool.Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.waitDurable(c); err != nil {
+	if err := s.waitDurable(context.Background(), c); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -602,7 +611,7 @@ func (s *Store) PatchPool(name string, updates []pool.JurorUpdate) (*pool.Pool, 
 	if err != nil {
 		return nil, err
 	}
-	if err := s.waitDurable(c); err != nil {
+	if err := s.waitDurable(context.Background(), c); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -626,7 +635,7 @@ func (s *Store) DeletePool(name string) (bool, error) {
 	if err != nil {
 		return true, err
 	}
-	return true, s.waitDurable(c)
+	return true, s.waitDurable(context.Background(), c)
 }
 
 // --- task lifecycle ------------------------------------------------------
@@ -703,7 +712,7 @@ func (s *Store) Create(ctx context.Context, spec Spec) (View, error) {
 	sh.mu.Unlock()
 	s.poolMu.RUnlock()
 	s.maybeCompact()
-	if err := s.waitDurable(tok); err != nil {
+	if err := s.waitDurable(ctx, tok); err != nil {
 		return View{}, err
 	}
 	return view, nil
@@ -789,7 +798,7 @@ func checkVote(t *task, jurorID string) (int, error) {
 // Vote records one juror's vote, folds it into the posterior, and closes
 // the task when the confidence target is crossed (sequential early stop)
 // or the jury is exhausted.
-func (s *Store) Vote(id, jurorID string, voteYes bool) (View, error) {
+func (s *Store) Vote(ctx context.Context, id, jurorID string, voteYes bool) (View, error) {
 	at := s.now()
 	if s.failed.Load() {
 		return View{}, ErrStoreFailed
@@ -815,7 +824,7 @@ func (s *Store) Vote(id, jurorID string, voteYes bool) (View, error) {
 	view := publish(t)
 	sh.mu.Unlock()
 	s.maybeCompact()
-	if err := s.waitDurable(c); err != nil {
+	if err := s.waitDurable(ctx, c); err != nil {
 		return View{}, err
 	}
 	return view, nil
@@ -838,11 +847,11 @@ func (s *Store) applyVote(t *task, jurorID string, voteYes bool, at time.Time) {
 
 // Decline releases a juror who refused the invitation and invites the
 // next-best replacement under the remaining budget.
-func (s *Store) Decline(id, jurorID string) (View, error) {
-	return s.decline(id, jurorID, false)
+func (s *Store) Decline(ctx context.Context, id, jurorID string) (View, error) {
+	return s.decline(ctx, id, jurorID, false)
 }
 
-func (s *Store) decline(id, jurorID string, timeout bool) (View, error) {
+func (s *Store) decline(ctx context.Context, id, jurorID string, timeout bool) (View, error) {
 	at := s.now()
 	if s.failed.Load() {
 		return View{}, ErrStoreFailed
@@ -867,7 +876,7 @@ func (s *Store) decline(id, jurorID string, timeout bool) (View, error) {
 	view := publish(t)
 	sh.mu.Unlock()
 	s.maybeCompact()
-	if err := s.waitDurable(c); err != nil {
+	if err := s.waitDurable(ctx, c); err != nil {
 		return View{}, err
 	}
 	return view, nil
@@ -1011,7 +1020,7 @@ func (s *Store) Sweep(now time.Time) (released, expired int, err error) {
 		sh.mu.Unlock()
 	}
 	s.maybeCompact()
-	return released, expired, s.waitDurable(lastCommit)
+	return released, expired, s.waitDurable(context.Background(), lastCommit)
 }
 
 // applyExpire closes the task without a verdict. Callers hold the shard

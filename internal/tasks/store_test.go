@@ -113,7 +113,7 @@ func TestSequentialEarlyStop(t *testing.T) {
 	var last View
 	votes := 0
 	for _, j := range v.Jurors {
-		last, err = s.Vote(v.ID, j.ID, true)
+		last, err = s.Vote(context.Background(), v.ID, j.ID, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func TestSequentialEarlyStop(t *testing.T) {
 		t.Fatalf("votes spent %d, want %d", last.VotesSpent, votes)
 	}
 	// Further votes are rejected: the task is closed.
-	if _, err := s.Vote(v.ID, v.Jurors[jurySize-1].ID, true); !errors.Is(err, ErrTaskClosed) {
+	if _, err := s.Vote(context.Background(), v.ID, v.Jurors[jurySize-1].ID, true); !errors.Is(err, ErrTaskClosed) {
 		t.Fatalf("vote on closed task = %v", err)
 	}
 	if st := s.Stats(); st.Decided != 1 || st.Open != 0 || st.AwaitingVotes != 0 {
@@ -156,7 +156,7 @@ func TestFixedJuryTargetOneCollectsAllVotes(t *testing.T) {
 	}
 	var last View
 	for _, j := range v.Jurors {
-		last, err = s.Vote(v.ID, j.ID, true)
+		last, err = s.Vote(context.Background(), v.ID, j.ID, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,22 +178,22 @@ func TestVoteValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Vote("ghost", v.Jurors[0].ID, true); !errors.Is(err, ErrTaskNotFound) {
+	if _, err := s.Vote(context.Background(), "ghost", v.Jurors[0].ID, true); !errors.Is(err, ErrTaskNotFound) {
 		t.Errorf("unknown task = %v", err)
 	}
-	if _, err := s.Vote(v.ID, "stranger", true); !errors.Is(err, ErrNotInvited) {
+	if _, err := s.Vote(context.Background(), v.ID, "stranger", true); !errors.Is(err, ErrNotInvited) {
 		t.Errorf("uninvited juror = %v", err)
 	}
-	if _, err := s.Vote(v.ID, v.Jurors[0].ID, true); err != nil {
+	if _, err := s.Vote(context.Background(), v.ID, v.Jurors[0].ID, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Vote(v.ID, v.Jurors[0].ID, false); !errors.Is(err, ErrAlreadyVoted) {
+	if _, err := s.Vote(context.Background(), v.ID, v.Jurors[0].ID, false); !errors.Is(err, ErrAlreadyVoted) {
 		t.Errorf("double vote = %v", err)
 	}
-	if _, err := s.Decline(v.ID, v.Jurors[1].ID); err != nil {
+	if _, err := s.Decline(context.Background(), v.ID, v.Jurors[1].ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Vote(v.ID, v.Jurors[1].ID, true); !errors.Is(err, ErrJurorReleased) {
+	if _, err := s.Vote(context.Background(), v.ID, v.Jurors[1].ID, true); !errors.Is(err, ErrJurorReleased) {
 		t.Errorf("vote after decline = %v", err)
 	}
 }
@@ -214,7 +214,7 @@ func TestDeclineInvitesNextBestReplacement(t *testing.T) {
 			worstRate = j.ErrorRate
 		}
 	}
-	after, err := s.Decline(v.ID, v.Jurors[0].ID)
+	after, err := s.Decline(context.Background(), v.ID, v.Jurors[0].ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestReplacementRespectsBudget(t *testing.T) {
 			t.Fatal("budget 0.35 admitted the 5.0-cost juror at selection")
 		}
 	}
-	after, err := s.Decline(v.ID, v.Jurors[0].ID)
+	after, err := s.Decline(context.Background(), v.ID, v.Jurors[0].ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,9 +297,9 @@ func TestJuryExhaustedDecidesOrExpires(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Vote(v.ID, "a", true)  //nolint:errcheck
-	s.Vote(v.ID, "b", false) //nolint:errcheck
-	last, err := s.Vote(v.ID, "c", false)
+	s.Vote(context.Background(), v.ID, "a", true)  //nolint:errcheck
+	s.Vote(context.Background(), v.ID, "b", false) //nolint:errcheck
+	last, err := s.Vote(context.Background(), v.ID, "c", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,9 +313,9 @@ func TestJuryExhaustedDecidesOrExpires(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Vote(v2.ID, "a", true)  //nolint:errcheck
-	s.Vote(v2.ID, "b", false) //nolint:errcheck
-	last2, err := s.Decline(v2.ID, "c")
+	s.Vote(context.Background(), v2.ID, "a", true)  //nolint:errcheck
+	s.Vote(context.Background(), v2.ID, "b", false) //nolint:errcheck
+	last2, err := s.Decline(context.Background(), v2.ID, "c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestListFiltersByStatus(t *testing.T) {
 	a, _ := s.Create(context.Background(), Spec{Pool: "crowd"})
 	b, _ := s.Create(context.Background(), Spec{Pool: "crowd"})
 	for _, j := range b.Jurors {
-		v, err := s.Vote(b.ID, j.ID, true)
+		v, err := s.Vote(context.Background(), b.ID, j.ID, true)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -36,10 +36,11 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"juryselect/internal/obs"
 )
 
 // SyncMode selects the WAL's durability discipline.
@@ -110,9 +111,15 @@ type WALStats struct {
 	Appends int64
 	// Fsyncs counts fsync calls issued.
 	Fsyncs int64
-	// FsyncP99NS is the 99th-percentile fsync latency over a recent
-	// window, in nanoseconds (0 until the first fsync).
+	// FsyncP99NS is the 99th-percentile fsync latency since open, in
+	// nanoseconds (0 until the first fsync). Derived from FsyncHist.
 	FsyncP99NS int64
+	// FsyncHist is the full fsync-latency histogram since open.
+	FsyncHist obs.HistSnapshot
+	// DurableWaitHist is the append→durable wait distribution: what a
+	// writer actually pays in WaitDurable, fast (already-synced) paths
+	// included. Empty under SyncOff, which has no durability wait.
+	DurableWaitHist obs.HistSnapshot
 	// QueueDepth is the number of appended records not yet durable —
 	// the committer's backlog at the instant of the snapshot.
 	QueueDepth int64
@@ -161,9 +168,8 @@ type WAL struct {
 	replayed  int64
 	torn      int64
 
-	latMu  sync.Mutex
-	latBuf [128]int64 // ring of recent fsync latencies
-	latN   int
+	fsyncLat obs.Histogram // fsync call latency
+	waitLat  obs.Histogram // append→durable wait as seen by writers
 }
 
 // walRecord is one intact record yielded by readWAL.
@@ -318,17 +324,29 @@ func (w *WAL) AppendAsync(payload []byte) (seq uint64, err error) {
 }
 
 // WaitDurable blocks until the record with the given sequence number is
-// durable per the sync mode (a no-op for SyncOff).
+// durable per the sync mode (a no-op for SyncOff). The wait is recorded
+// in the durable-wait histogram — zero for the already-synced fast path,
+// clock-timed when the caller actually parks.
 func (w *WAL) WaitDurable(seq uint64) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	for w.synced < seq && w.err == nil && !w.closed {
-		w.durable.Wait()
+	var waited int64 // 0 for the already-synced fast path
+	if w.synced < seq && w.err == nil && !w.closed {
+		start := time.Now()
+		for w.synced < seq && w.err == nil && !w.closed {
+			w.durable.Wait()
+		}
+		waited = time.Since(start).Nanoseconds()
 	}
-	if w.err != nil {
-		return w.err
+	err := w.err
+	synced := w.synced
+	w.mu.Unlock()
+	if w.mode != SyncOff {
+		w.waitLat.Observe(waited)
 	}
-	if w.synced < seq {
+	if err != nil {
+		return err
+	}
+	if synced < seq {
 		return ErrWALClosed
 	}
 	return nil
@@ -410,10 +428,7 @@ func (w *WAL) syncOnce() {
 	err := w.f.Sync()
 	elapsed := time.Since(start).Nanoseconds()
 	w.fsyncs.Add(1)
-	w.latMu.Lock()
-	w.latBuf[w.latN%len(w.latBuf)] = elapsed
-	w.latN++
-	w.latMu.Unlock()
+	w.fsyncLat.Observe(elapsed)
 
 	w.mu.Lock()
 	if err != nil && w.err == nil {
@@ -517,19 +532,8 @@ func (w *WAL) Stats() WALStats {
 	w.mu.Lock()
 	st.QueueDepth = int64(w.written - w.synced)
 	w.mu.Unlock()
-	w.latMu.Lock()
-	n := w.latN
-	if n > len(w.latBuf) {
-		n = len(w.latBuf)
-	}
-	if n > 0 {
-		lat := make([]int64, n)
-		copy(lat, w.latBuf[:n])
-		w.latMu.Unlock()
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		st.FsyncP99NS = lat[int(0.99*float64(n-1))]
-	} else {
-		w.latMu.Unlock()
-	}
+	st.FsyncHist = w.fsyncLat.Snapshot()
+	st.DurableWaitHist = w.waitLat.Snapshot()
+	st.FsyncP99NS = st.FsyncHist.Quantile(0.99)
 	return st
 }
