@@ -20,6 +20,7 @@ import (
 	"juryselect/internal/core"
 	"juryselect/internal/engine"
 	"juryselect/internal/experiments"
+	"juryselect/internal/insight"
 	"juryselect/internal/jer"
 	"juryselect/internal/obs"
 	"juryselect/internal/randx"
@@ -691,6 +692,49 @@ func handlerSelectBench(cacheEntries int) func(b *testing.B) {
 	}
 }
 
+// handlerSelectInsightBench is the warm select with the crowd-insight
+// stack installed the way cmd/juryd installs it: an ephemeral task
+// store with the insight engine hooked on its event stream, and the
+// same engine attached to the server for /v1/insight. The select path
+// never touches either — the absolute allocation guard in
+// regressionGuards proves the hook keeps the warm select on its
+// 16-alloc diet.
+func handlerSelectInsightBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		ins := insight.New(0)
+		store, err := tasks.Open(tasks.Config{Events: ins})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close() //nolint:errcheck
+		srv := server.New(server.Config{Tasks: store, Insight: ins})
+		if _, err := srv.Store().Put("crowd", benchPoolJurors(101)); err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		body := []byte(`{"pool":"crowd"}`)
+		rdr := bytes.NewReader(body)
+		req := httptest.NewRequest(http.MethodPost, "/v1/select", rdr)
+		w := &nullWriter{h: make(http.Header)}
+		run := func() {
+			rdr.Reset(body)
+			req.Body = io.NopCloser(rdr)
+			req.ContentLength = int64(len(body))
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		}
+		run() // prime the cache and lazy pool state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	}
+}
+
 // serverBenches measures the serving path of cmd/juryd: full HTTP round
 // trips through internal/server (mirroring BenchmarkServerSelect and
 // BenchmarkServerJER in that package), the handler-level warm/miss
@@ -751,6 +795,7 @@ func serverBenches() []namedBench {
 		{"ServerSelect/altr/n101", httpBench("/v1/select", `{"pool":"crowd"}`, withPool(101))},
 		{"ServerSelect/pay/n101", httpBench("/v1/select", `{"pool":"crowd","model":"pay","budget":5}`, withPool(101))},
 		{"ServerSelect/warm/n101", handlerSelectBench(0)},
+		{"ServerSelect/warm-insight/n101", handlerSelectInsightBench()},
 		{"ServerSelect/miss/n101", handlerSelectBench(-1)},
 		{"ServerSelectBatch/http/n101x16", httpBench("/v1/select/batch", batchBody(16), withPool(101))},
 		{"ServerJER/n101", httpBench("/v1/jer", string(jerBody), nil)},
@@ -798,6 +843,11 @@ func writeBenchJSON(path string, progress io.Writer) error {
 type benchGuard struct {
 	name string
 	axis string // "ns_per_op" | "allocs_per_op"
+	// limit, when non-zero, makes the guard an absolute cap: the axis
+	// must not exceed it, no snapshot entry required and no tolerance
+	// applied. Only machine-independent axes (allocation counts) should
+	// use it — an absolute nanosecond cap would encode one machine.
+	limit float64
 }
 
 // regressionGuards is the -bench-check set. Warm-select guards time
@@ -806,16 +856,21 @@ type benchGuard struct {
 // fast-lane promises: single-op create/vote latency must not regress
 // while the throughput work lands, and replay stays on its diet.
 var regressionGuards = []benchGuard{
-	{"ServerSelect/warm/n101", "ns_per_op"},
+	{name: "ServerSelect/warm/n101", axis: "ns_per_op"},
 	// PR 8's overhead guard: the instrumented warm select (per-endpoint
 	// histogram + stage marks, tracing disabled) must add zero
 	// allocations over the PR 7 baseline.
-	{"ServerSelect/warm/n101", "allocs_per_op"},
-	{"ServerTaskCreate/n101", "ns_per_op"},
-	{"ServerTaskVote/n101", "ns_per_op"},
-	{"ServerTaskVote/n101", "allocs_per_op"},
-	{"ServerTaskVoteBatch/n101", "allocs_per_op"},
-	{"WALReplay/votes", "allocs_per_op"},
+	{name: "ServerSelect/warm/n101", axis: "allocs_per_op"},
+	// PR 9's overhead guard: with the insight engine hooked on the task
+	// event stream and serving /v1/insight, the warm select must hold
+	// its absolute 16-alloc diet — an absolute cap, so the promise holds
+	// even before the snapshot is regenerated on a new machine.
+	{name: "ServerSelect/warm-insight/n101", axis: "allocs_per_op", limit: 16},
+	{name: "ServerTaskCreate/n101", axis: "ns_per_op"},
+	{name: "ServerTaskVote/n101", axis: "ns_per_op"},
+	{name: "ServerTaskVote/n101", axis: "allocs_per_op"},
+	{name: "ServerTaskVoteBatch/n101", axis: "allocs_per_op"},
+	{name: "WALReplay/votes", axis: "allocs_per_op"},
 }
 
 // checkBenchJSON re-runs the guarded benchmarks and fails if any
@@ -841,9 +896,13 @@ func checkBenchJSON(path string, tolerance float64, out io.Writer) error {
 	var failures []string
 	results := make(map[string]testing.BenchmarkResult) // guards sharing a benchmark share one run
 	for _, g := range regressionGuards {
-		base, ok := baseline[g.name]
-		if !ok {
-			return fmt.Errorf("snapshot %s has no entry %q", path, g.name)
+		var base benchEntry
+		if g.limit == 0 {
+			var ok bool
+			base, ok = baseline[g.name]
+			if !ok {
+				return fmt.Errorf("snapshot %s has no entry %q", path, g.name)
+			}
 		}
 		res, ran := results[g.name]
 		if !ran {
@@ -869,14 +928,24 @@ func checkBenchJSON(path string, tolerance float64, out io.Writer) error {
 			return fmt.Errorf("unknown guard axis %q", g.axis)
 		}
 		limit := want * (1 + tolerance)
+		ref := "baseline"
+		if g.limit > 0 {
+			limit, want, ref = g.limit, g.limit, "cap"
+		}
 		verdict := "ok"
 		if got > limit {
 			verdict = "REGRESSED"
-			failures = append(failures,
-				fmt.Sprintf("%s %s: %.1f exceeds %.1f (+%.0f%% over baseline %.1f)",
-					g.name, g.axis, got, limit, 100*tolerance, want))
+			if g.limit > 0 {
+				failures = append(failures,
+					fmt.Sprintf("%s %s: %.1f exceeds the absolute cap %.1f",
+						g.name, g.axis, got, limit))
+			} else {
+				failures = append(failures,
+					fmt.Sprintf("%s %s: %.1f exceeds %.1f (+%.0f%% over baseline %.1f)",
+						g.name, g.axis, got, limit, 100*tolerance, want))
+			}
 		}
-		fmt.Fprintf(out, "%-28s %-13s %12.1f baseline %12.1f  %s\n", g.name, g.axis, got, want, verdict)
+		fmt.Fprintf(out, "%-32s %-13s %12.1f %-8s %12.1f  %s\n", g.name, g.axis, got, ref, want, verdict)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

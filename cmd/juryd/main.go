@@ -10,6 +10,7 @@
 //	      [-wal-dir DIR] [-fsync batch] [-compact-every N] [-task-shards N]
 //	      [-sweep 1s] [-juror-timeout 60s] [-task-expiry 1h]
 //	      [-slow-ms N] [-trace-every N] [-trace-ring N] [-pprof-addr ADDR]
+//	      [-insight] [-insight-pairs N]
 //
 // Endpoints:
 //
@@ -24,6 +25,9 @@
 //	PUT    /v1/pools/{name}/jurors   replace the pool
 //	PATCH  /v1/pools/{name}/jurors   incremental updates / observed votes
 //	DELETE /v1/pools/{name}          drop the pool
+//	GET    /v1/insight/jurors       per-juror profiles: response rates, realized error, latency
+//	GET    /v1/insight/calibration  predicted-JER reliability diagram and Brier score
+//	GET    /v1/insight/agreement    co-vote pair agreement with above-chance z-scores
 //	GET    /healthz                  200 serving / 503 draining (plus WAL queue depth)
 //	GET    /metrics                  request, shed, engine, task and WAL counters (JSON)
 //	GET    /metrics/prometheus       the same counters in Prometheus text format
@@ -84,6 +88,7 @@ import (
 	"time"
 
 	"juryselect/internal/dataio"
+	"juryselect/internal/insight"
 	"juryselect/internal/server"
 	"juryselect/internal/tasks"
 	"juryselect/jury"
@@ -123,6 +128,9 @@ type config struct {
 	traceEvery int
 	traceRing  int
 	pprofAddr  string
+
+	insightOn bool
+	pairCap   int
 }
 
 func main() {
@@ -149,6 +157,8 @@ func main() {
 	flag.IntVar(&cfg.traceEvery, "trace-every", 0, "sample every Nth request into /debug/traces (0 = off)")
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "trace ring capacity (0 = default)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+	flag.BoolVar(&cfg.insightOn, "insight", true, "maintain juror/calibration/agreement analytics from the task event stream (serves /v1/insight/*)")
+	flag.IntVar(&cfg.pairCap, "insight-pairs", 0, "co-vote pair tracker capacity (0 = default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -184,6 +194,15 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 		return fmt.Errorf("bad -fsync %q (want always, batch or off)", cfg.fsync)
 	}
 	eng := jury.NewEngine(jury.BatchOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize})
+	// The insight engine attaches before Open so WAL recovery replays the
+	// whole task history into it; the live tail then feeds the same sink,
+	// which is what makes /v1/insight fingerprints restart-stable.
+	var ins *insight.Engine
+	var events tasks.EventSink
+	if cfg.insightOn {
+		ins = insight.New(cfg.pairCap)
+		events = ins
+	}
 	store, err := tasks.Open(tasks.Config{
 		Dir:                 cfg.walDir,
 		Sync:                syncMode,
@@ -192,6 +211,7 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 		Shards:              cfg.taskShards,
 		DefaultJurorTimeout: cfg.jurorTimeout,
 		DefaultExpiry:       cfg.taskExpiry,
+		Events:              events,
 	})
 	if err != nil {
 		return err
@@ -213,6 +233,7 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 	srv := server.New(server.Config{
 		Engine:             eng,
 		Tasks:              store,
+		Insight:            ins,
 		MaxInflight:        cfg.maxInflight,
 		MaxQueue:           cfg.maxQueue,
 		SelectCacheEntries: cfg.selectCache,

@@ -29,6 +29,13 @@
 //	juryload -preset task -target-confidence 1 -out fixed.json
 //	juryload -preset flaky -lifecycle task -mode http -addr http://127.0.0.1:8080
 //
+// -insight appends the oracle-truth JER calibration table — reliability
+// bins of selection-time predicted JER against realized verdict
+// correctness, with the Brier score — the ground-truth counterpart of
+// juryd's /v1/insight/calibration endpoint:
+//
+//	juryload -preset drift -insight -quiet -out /dev/null
+//
 // Override flags (-seed, -steps, -replications, -strategy, -estimator,
 // -lifecycle, -target-confidence) tweak the loaded scenario, so one
 // preset sweeps into a whole table:
@@ -69,6 +76,7 @@ type config struct {
 	trace        bool
 	quiet        bool
 	list         bool
+	insight      bool
 	shedRetries  int
 }
 
@@ -91,6 +99,7 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "include the per-step trace in the JSON")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the human-readable summary")
 	flag.BoolVar(&cfg.list, "list", false, "list built-in presets and exit")
+	flag.BoolVar(&cfg.insight, "insight", false, "print the oracle-truth JER calibration table (reliability bins and Brier score)")
 	flag.IntVar(&cfg.shedRetries, "shed-retries", 0, "429 retries per select before a step is shed (http mode, 0 = default)")
 	flag.Parse()
 
@@ -136,7 +145,38 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 	if !cfg.quiet {
 		printSummary(stderr, rep, elapsed)
 	}
+	if cfg.insight {
+		if err := printCalibration(stderr, rep); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// printCalibration renders the merged reliability diagram: how the
+// selection-time predicted JER tracked the oracle outcome, bin by bin.
+// This is the simlab ground-truth view of the same diagram juryd serves
+// from /v1/insight/calibration (where realized error is posterior
+// confidence, not latent truth).
+func printCalibration(w io.Writer, rep *simul.Report) error {
+	cal := rep.Summary.OracleCalibration
+	if cal == nil {
+		fmt.Fprintln(w, "no calibration samples: no step reached a verdict")
+		return nil
+	}
+	tb := tablefmt.New(
+		fmt.Sprintf("JER calibration vs oracle truth (%d verdicts, Brier %.6f)", cal.Total, cal.Brier),
+		"bin", "verdicts", "mean predicted", "realized error", "gap")
+	for _, b := range cal.Bins {
+		tb.AddRow(
+			fmt.Sprintf("[%.3f, %.3f)", b.Lo, b.Hi),
+			b.Count,
+			fmt.Sprintf("%.4f", b.MeanPredicted),
+			fmt.Sprintf("%.4f", b.MeanRealized),
+			fmt.Sprintf("%+.4f", b.MeanRealized-b.MeanPredicted),
+		)
+	}
+	return tb.Render(w)
 }
 
 // loadScenario resolves the preset/file choice and applies overrides.

@@ -1,0 +1,119 @@
+package insight
+
+import "math"
+
+// NumBins is the reliability diagram's fixed resolution: predicted JER
+// lives in [0, 0.5) by construction (Definition 4 caps jury error below
+// a fair coin), so 20 bins of width 0.025 cover the range. Predictions
+// at or above 0.5 — possible only through estimator drift — clamp into
+// the last bin rather than falling off the diagram.
+const NumBins = 20
+
+// binWidth is the predicted-JER span of one reliability bin.
+const binWidth = 0.5 / NumBins
+
+// fpScale is the fixed-point scale for accumulated float samples. The
+// engine must produce bit-identical state whether events arrive in live
+// (arbitrary cross-task interleaving) or replay (WAL) order, and float
+// addition does not commute; int64 addition does. Samples are converted
+// once at Add time and only rendered back to float64 in Report.
+const fpScale = 1e9
+
+// fp converts a sample to fixed point. Inputs are probabilities and
+// squared probability gaps, so int64 at 1e9 scale has headroom for
+// billions of samples before overflow.
+func fp(x float64) int64 { return int64(math.Round(x * fpScale)) }
+
+// Reliability is an order-invariant reliability-diagram accumulator:
+// each Add buckets a predicted error rate against the realized outcome
+// and accumulates the Brier score term. All state is integer, so any
+// permutation of the same Add calls — including a Merge of per-worker
+// shards in any order — yields bit-identical state. Not safe for
+// concurrent use; callers (the insight engine, one simlab replication)
+// serialize access.
+type Reliability struct {
+	count   [NumBins]int64
+	predSum [NumBins]int64 // fixed-point predicted-JER sum
+	realSum [NumBins]int64 // fixed-point realized-error sum
+	brier   int64          // fixed-point Σ (predicted − realized)²
+	total   int64
+}
+
+// Add records one prediction/outcome pair. predicted is the
+// selection-time JER; realized is the observed error in [0, 1] — a 0/1
+// oracle indicator when ground truth is known (simlab), or 1−confidence
+// as the posterior's own expected error when it is not (production).
+func (r *Reliability) Add(predicted, realized float64) {
+	b := int(predicted / binWidth)
+	if b < 0 {
+		b = 0
+	}
+	if b >= NumBins {
+		b = NumBins - 1
+	}
+	r.count[b]++
+	r.predSum[b] += fp(predicted)
+	r.realSum[b] += fp(realized)
+	d := predicted - realized
+	r.brier += fp(d * d)
+	r.total++
+}
+
+// Merge folds another accumulator into this one. Integer adds commute,
+// so merging per-worker shards in any order produces identical state.
+func (r *Reliability) Merge(o *Reliability) {
+	for i := 0; i < NumBins; i++ {
+		r.count[i] += o.count[i]
+		r.predSum[i] += o.predSum[i]
+		r.realSum[i] += o.realSum[i]
+	}
+	r.brier += o.brier
+	r.total += o.total
+}
+
+// Total returns the number of samples recorded.
+func (r *Reliability) Total() int64 { return r.total }
+
+// ReliabilityBin is one occupied reliability-diagram bin: the predicted
+// range it covers and the mean predicted vs realized error inside it. A
+// calibrated estimator shows MeanRealized ≈ MeanPredicted in every bin.
+type ReliabilityBin struct {
+	Lo            float64 `json:"lo"`
+	Hi            float64 `json:"hi"`
+	Count         int64   `json:"count"`
+	MeanPredicted float64 `json:"mean_predicted"`
+	MeanRealized  float64 `json:"mean_realized"`
+}
+
+// ReliabilityReport is the rendered diagram: occupied bins in ascending
+// predicted order plus the aggregate Brier score (mean squared gap
+// between prediction and outcome; lower is better, 0 is perfect).
+type ReliabilityReport struct {
+	Total int64            `json:"total"`
+	Brier float64          `json:"brier"`
+	Bins  []ReliabilityBin `json:"bins"`
+}
+
+// Report renders the accumulator. Floats are derived from the integer
+// state by the same arithmetic regardless of arrival order, so reports
+// are as deterministic as the accumulator itself.
+func (r *Reliability) Report() ReliabilityReport {
+	rep := ReliabilityReport{Total: r.total, Bins: make([]ReliabilityBin, 0, NumBins)}
+	if r.total > 0 {
+		rep.Brier = float64(r.brier) / fpScale / float64(r.total)
+	}
+	for i := 0; i < NumBins; i++ {
+		if r.count[i] == 0 {
+			continue
+		}
+		n := float64(r.count[i])
+		rep.Bins = append(rep.Bins, ReliabilityBin{
+			Lo:            float64(i) * binWidth,
+			Hi:            float64(i+1) * binWidth,
+			Count:         r.count[i],
+			MeanPredicted: float64(r.predSum[i]) / fpScale / n,
+			MeanRealized:  float64(r.realSum[i]) / fpScale / n,
+		})
+	}
+	return rep
+}

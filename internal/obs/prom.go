@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -244,6 +245,13 @@ func parsePromSample(line string) (PromSample, error) {
 	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
 	if err != nil {
 		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	// The exposition format permits NaN/±Inf, but every value juryd
+	// exports is a finite counter, gauge, or bucket count — a non-finite
+	// sample means an upstream division bug (0/0 ratios and the like),
+	// so the round-trip test should catch it rather than wave it through.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return s, fmt.Errorf("non-finite value in %q", line)
 	}
 	s.Value = v
 	return s, nil

@@ -86,8 +86,12 @@ const MaxSpans = 64
 // request goroutine while live (Add is not synchronized); captured
 // copies in a TraceRing are immutable.
 type Trace struct {
-	ID        int64     `json:"id"`
-	Endpoint  string    `json:"endpoint"`
+	ID       int64  `json:"id"`
+	Endpoint string `json:"endpoint"`
+	// TaskID is the decision task a lifecycle request touched (create,
+	// get, vote), so a slow verdict can be filtered out of the ring and
+	// followed end to end; empty for non-task requests.
+	TaskID    string    `json:"task_id,omitempty"`
 	Status    int       `json:"status"`
 	Start     time.Time `json:"start"`
 	DurNS     int64     `json:"dur_ns"`
@@ -111,6 +115,7 @@ func (t *Trace) Add(st Stage, durNS int64) {
 // Reset clears the trace for reuse, keeping the span storage.
 func (t *Trace) Reset() {
 	t.ID, t.Endpoint, t.Status, t.DurNS = 0, "", 0, 0
+	t.TaskID = ""
 	t.Start = time.Time{}
 	t.Spans = t.Spans[:0]
 	t.Truncated = false

@@ -231,11 +231,22 @@ func (sh *cacheShard) insert(k selectKey, raw []byte, capacity int) {
 // len reports the resident entry count (all shards).
 func (c *selectCache) len() int {
 	n := 0
+	for _, v := range c.shardLens() {
+		n += v
+	}
+	return n
+}
+
+// shardLens reports each shard's resident entry count, for the
+// per-shard gauges in /metrics: a skewed distribution means one shard's
+// LRU is evicting while others sit idle (hot pools hashing together).
+func (c *selectCache) shardLens() []int {
+	out := make([]int, selectCacheShards)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		n += len(sh.entries)
+		out[i] = len(sh.entries)
 		sh.mu.Unlock()
 	}
-	return n
+	return out
 }

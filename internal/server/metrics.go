@@ -7,6 +7,7 @@ import (
 	runtimemetrics "runtime/metrics"
 	"sync/atomic"
 
+	"juryselect/internal/insight"
 	"juryselect/internal/obs"
 )
 
@@ -109,6 +110,11 @@ type metricsResponse struct {
 	// server fronts a task store; omitted otherwise.
 	Tasks *taskMetrics `json:"tasks,omitempty"`
 
+	// Insight reports the decision-quality analytics counters when an
+	// insight engine is attached; omitted otherwise. Counters only — the
+	// full profiles/diagrams live behind /v1/insight/*.
+	Insight *insight.Stats `json:"insight,omitempty"`
+
 	// Endpoints maps every instrumented route to its request/error
 	// counts and latency summary; Stages maps each internal request
 	// stage (queue wait, decode, engine, WAL wait, …) to its latency
@@ -146,6 +152,12 @@ type selectCacheMetrics struct {
 	Misses    int64 `json:"misses"`
 	Collapsed int64 `json:"collapsed"`
 	Entries   int   `json:"entries"`
+	// HitRatio is hits / (hits + misses + collapsed) — the fraction of
+	// probes that skipped the engine entirely; 0 before any probe.
+	HitRatio float64 `json:"hit_ratio"`
+	// ShardEntries is the resident entry count per cache shard. A skewed
+	// distribution means hot pools are hashing onto one shard's LRU.
+	ShardEntries []int `json:"shard_entries"`
 }
 
 // taskMetrics is the durable task subsystem's observability block: the
@@ -223,12 +235,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var cm *selectCacheMetrics
 	if s.cache != nil {
-		cm = &selectCacheMetrics{
-			Hits:      s.cache.hits.Load(),
-			Misses:    s.cache.misses.Load(),
-			Collapsed: s.cache.collapsed.Load(),
-			Entries:   s.cache.len(),
+		shardLens := s.cache.shardLens()
+		entries := 0
+		for _, n := range shardLens {
+			entries += n
 		}
+		cm = &selectCacheMetrics{
+			Hits:         s.cache.hits.Load(),
+			Misses:       s.cache.misses.Load(),
+			Collapsed:    s.cache.collapsed.Load(),
+			Entries:      entries,
+			ShardEntries: shardLens,
+		}
+		if probes := cm.Hits + cm.Misses + cm.Collapsed; probes > 0 {
+			cm.HitRatio = float64(cm.Hits) / float64(probes)
+		}
+	}
+	var im *insight.Stats
+	if s.insight != nil {
+		st := s.insight.Stats()
+		im = &st
 	}
 	eps := make(map[string]endpointStats, int(numEndpoints))
 	var errors4xx, errors5xx int64
@@ -272,6 +298,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Pools:             s.store.Len(),
 		SelectCache:       cm,
 		Tasks:             tm,
+		Insight:           im,
 		Endpoints:         eps,
 		Stages:            stages,
 		Runtime:           sampleRuntime(),

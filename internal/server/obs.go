@@ -34,6 +34,9 @@ const (
 	epTaskGet
 	epTaskVote
 	epTaskVoteBatch
+	epInsightJurors
+	epInsightCalibration
+	epInsightAgreement
 
 	numEndpoints
 )
@@ -42,6 +45,7 @@ var endpointNames = [numEndpoints]string{
 	"jer", "select_miss", "select_warm", "select_batch",
 	"pool_list", "pool_get", "pool_put", "pool_patch", "pool_delete",
 	"task_create", "task_list", "task_get", "task_vote", "task_vote_batch",
+	"insight_jurors", "insight_calibration", "insight_agreement",
 }
 
 func (e endpoint) String() string {
@@ -180,6 +184,14 @@ func setEndpoint(w http.ResponseWriter, ep endpoint) {
 	}
 }
 
+// setTraceTask tags the request's trace with the decision task it
+// touched, so /debug/traces?task_id= follows one verdict end to end.
+func setTraceTask(w http.ResponseWriter, id string) {
+	if rw, ok := w.(*reqWriter); ok {
+		rw.tr.TaskID = id
+	}
+}
+
 // traceCtx threads the request's trace into the context for layers that
 // record spans without seeing the writer (the task store's durability
 // wait). Only traced requests pay the context allocation: when tracing
@@ -202,8 +214,9 @@ type debugTracesResponse struct {
 
 // handleDebugTraces serves GET /debug/traces: recently captured request
 // traces, newest first. Query parameters: endpoint=NAME keeps one
-// endpoint, min_ms=N keeps requests at least that slow, limit=N caps
-// the result (default 32).
+// endpoint, task_id=ID keeps one decision task's lifecycle requests,
+// min_ms=N keeps requests at least that slow, limit=N caps the result
+// (default 32).
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	limit := 32
@@ -225,10 +238,13 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		minNS = ms * 1e6
 	}
 	ep := q.Get("endpoint")
+	taskID := q.Get("task_id")
 	var filter func(*obs.Trace) bool
-	if ep != "" || minNS > 0 {
+	if ep != "" || taskID != "" || minNS > 0 {
 		filter = func(t *obs.Trace) bool {
-			return (ep == "" || t.Endpoint == ep) && t.DurNS >= minNS
+			return (ep == "" || t.Endpoint == ep) &&
+				(taskID == "" || t.TaskID == taskID) &&
+				t.DurNS >= minNS
 		}
 	}
 	writeJSON(w, http.StatusOK, debugTracesResponse{

@@ -9,20 +9,30 @@ import (
 	"sync"
 	"testing"
 
+	"juryselect/internal/insight"
 	"juryselect/internal/obs"
 	"juryselect/internal/tasks"
 )
 
 // newDurableTaskServer builds a server over a WAL-backed task store with
-// a seeded pool, returning the server for direct field access.
+// a seeded pool and an attached insight engine, returning the server for
+// direct field access.
 func newDurableTaskServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	store, err := tasks.Open(tasks.Config{Dir: t.TempDir(), Sync: tasks.SyncAlways})
+	if cfg.Insight == nil {
+		cfg.Insight = insight.New(0)
+	}
+	store, err := tasks.Open(tasks.Config{
+		Dir: t.TempDir(), Sync: tasks.SyncAlways, Events: cfg.Insight,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() }) //nolint:errcheck
 	if _, err := store.PutPool("crowd", testJurors(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.PutPool("panel", flatJurors(7)); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Tasks = store
@@ -57,7 +67,24 @@ func TestMetricsGoldenKeys(t *testing.T) {
 		"batch_votes", "shed", "errors", "errors_4xx", "errors_5xx",
 		"inflight", "max_inflight", "queued", "max_queue",
 		"engine_evaluations", "engine_cache_hits", "engine_inflight", "engine_workers",
-		"pools", "select_cache", "tasks", "endpoints", "stages", "runtime")
+		"pools", "select_cache", "tasks", "insight", "endpoints", "stages", "runtime")
+
+	var sc map[string]json.RawMessage
+	if err := json.Unmarshal(top["select_cache"], &sc); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys(t, sc, "select_cache",
+		"hits", "misses", "collapsed", "entries", "hit_ratio", "shard_entries")
+
+	var ins map[string]json.RawMessage
+	if err := json.Unmarshal(top["insight"], &ins); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys(t, ins, "insight",
+		"events", "tasks_created", "tasks_decided", "tasks_expired", "tasks_open",
+		"votes", "declines", "timeouts", "unknown_task_events",
+		"jurors_tracked", "pairs_tracked", "pairs_dropped",
+		"calibration_samples", "brier")
 
 	var eps map[string]map[string]json.RawMessage
 	if err := json.Unmarshal(top["endpoints"], &eps); err != nil {

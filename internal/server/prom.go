@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net/http"
 	"runtime"
+	"strconv"
 
 	"juryselect/internal/obs"
 )
@@ -68,12 +69,25 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	p.Sample("juryd_engine_cache_hits_total", "", float64(est.CacheHits))
 
 	if s.cache != nil {
+		hits := s.cache.hits.Load()
+		misses := s.cache.misses.Load()
+		collapsed := s.cache.collapsed.Load()
 		p.Header("juryd_select_cache_events_total", "counter", "Select response cache events.")
-		p.Sample("juryd_select_cache_events_total", `event="hit"`, float64(s.cache.hits.Load()))
-		p.Sample("juryd_select_cache_events_total", `event="miss"`, float64(s.cache.misses.Load()))
-		p.Sample("juryd_select_cache_events_total", `event="collapsed"`, float64(s.cache.collapsed.Load()))
+		p.Sample("juryd_select_cache_events_total", `event="hit"`, float64(hits))
+		p.Sample("juryd_select_cache_events_total", `event="miss"`, float64(misses))
+		p.Sample("juryd_select_cache_events_total", `event="collapsed"`, float64(collapsed))
+		p.Header("juryd_select_cache_hit_ratio", "gauge", "Fraction of cache probes served from a resident entry.")
+		var ratio float64
+		if probes := hits + misses + collapsed; probes > 0 {
+			ratio = float64(hits) / float64(probes)
+		}
+		p.Sample("juryd_select_cache_hit_ratio", "", ratio)
 		p.Header("juryd_select_cache_entries", "gauge", "Resident select cache entries.")
 		p.Sample("juryd_select_cache_entries", "", float64(s.cache.len()))
+		p.Header("juryd_select_cache_shard_entries", "gauge", "Resident select cache entries per shard.")
+		for i, n := range s.cache.shardLens() {
+			p.Sample("juryd_select_cache_shard_entries", `shard="`+strconv.Itoa(i)+`"`, float64(n))
+		}
 	}
 
 	if s.tasks != nil {
@@ -97,6 +111,25 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 			p.Header("juryd_wal_durable_wait_seconds", "histogram", "Append-to-durable wait seen by writers.")
 			p.HistogramNS("juryd_wal_durable_wait_seconds", "", ts.WAL.DurableWaitHist)
 		}
+	}
+
+	if s.insight != nil {
+		ist := s.insight.Stats()
+		p.Header("juryd_insight_events_total", "counter", "Task events consumed by the insight engine.")
+		p.Sample("juryd_insight_events_total", "", float64(ist.Events))
+		p.Header("juryd_insight_tasks_total", "counter", "Tasks observed by the insight engine, by outcome.")
+		p.Sample("juryd_insight_tasks_total", `outcome="decided"`, float64(ist.TasksDecided))
+		p.Sample("juryd_insight_tasks_total", `outcome="expired"`, float64(ist.TasksExpired))
+		p.Header("juryd_insight_jurors_tracked", "gauge", "Jurors with insight profiles.")
+		p.Sample("juryd_insight_jurors_tracked", "", float64(ist.JurorsTracked))
+		p.Header("juryd_insight_pairs_tracked", "gauge", "Co-vote pairs tracked for agreement analysis.")
+		p.Sample("juryd_insight_pairs_tracked", "", float64(ist.PairsTracked))
+		p.Header("juryd_insight_pairs_dropped_total", "counter", "Co-vote pairs dropped at the tracker cap.")
+		p.Sample("juryd_insight_pairs_dropped_total", "", float64(ist.PairsDropped))
+		p.Header("juryd_insight_calibration_samples_total", "counter", "Verdicts folded into the JER reliability diagram.")
+		p.Sample("juryd_insight_calibration_samples_total", "", float64(ist.CalibrationSamples))
+		p.Header("juryd_insight_brier_score", "gauge", "Brier score of predicted JER against realized error.")
+		p.Sample("juryd_insight_brier_score", "", ist.Brier)
 	}
 
 	p.Header("juryd_traces_total", "counter", "Request traces captured into the debug ring.")

@@ -15,6 +15,7 @@ import (
 
 	"juryselect/internal/core"
 	"juryselect/internal/dataio"
+	"juryselect/internal/insight"
 	"juryselect/internal/obs"
 	"juryselect/internal/pbdist"
 	"juryselect/internal/tasks"
@@ -51,6 +52,11 @@ type Config struct {
 	// endpoints are served and every pool mutation is journaled through
 	// it, so a restarted juryd replays pools and tasks together.
 	Tasks *tasks.Store
+	// Insight is the decision-quality analytics engine. Attach the same
+	// engine to the task store (tasks.Config.Events) before Open, so WAL
+	// replay and the live tail both feed it; when set, the /v1/insight
+	// endpoints are served and /metrics gains an insight block.
+	Insight *insight.Engine
 	// MaxInflight bounds concurrently executing evaluation requests
 	// (/v1/jer and /v1/select). Zero selects runtime.GOMAXPROCS(0):
 	// selection saturates a core, so admitting more in parallel only
@@ -97,9 +103,10 @@ type Config struct {
 // Handler on an http.Server, and share one Server across all connections;
 // all methods are safe for concurrent use.
 type Server struct {
-	eng   *jury.Engine
-	store *Store
-	tasks *tasks.Store
+	eng     *jury.Engine
+	store   *Store
+	tasks   *tasks.Store
+	insight *insight.Engine
 
 	maxInflight int
 	maxQueue    int
@@ -131,6 +138,7 @@ func New(cfg Config) *Server {
 		eng:         cfg.Engine,
 		store:       cfg.Store,
 		tasks:       cfg.Tasks,
+		insight:     cfg.Insight,
 		maxInflight: cfg.MaxInflight,
 		maxQueue:    cfg.MaxQueue,
 		defTimeout:  cfg.DefaultTimeout,
@@ -198,6 +206,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tasks/{id}", s.instrument(epTaskGet, s.requireTasks(s.handleTaskGet)))
 	s.mux.HandleFunc("POST /v1/tasks/{id}/votes", s.instrument(epTaskVote, s.requireTasks(s.handleTaskVote)))
 	s.mux.HandleFunc("POST /v1/tasks/{id}/votes/batch", s.instrument(epTaskVoteBatch, s.requireTasks(s.handleTaskVoteBatch)))
+	s.mux.HandleFunc("GET /v1/insight/jurors", s.instrument(epInsightJurors, s.requireInsight(s.handleInsightJurors)))
+	s.mux.HandleFunc("GET /v1/insight/calibration", s.instrument(epInsightCalibration, s.requireInsight(s.handleInsightCalibration)))
+	s.mux.HandleFunc("GET /v1/insight/agreement", s.instrument(epInsightAgreement, s.requireInsight(s.handleInsightAgreement)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics/prometheus", s.handleMetricsProm)

@@ -102,6 +102,7 @@ func (s *Server) handleTaskCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mark(w, obs.StageStore)
+	setTraceTask(w, view.ID)
 	s.m.taskCreates.Add(1)
 	writeJSON(w, http.StatusCreated, TaskResponse{Task: view})
 }
@@ -121,6 +122,7 @@ func (s *Server) handleTaskList(w http.ResponseWriter, r *http.Request) {
 
 // handleTaskGet serves GET /v1/tasks/{id}.
 func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
+	setTraceTask(w, r.PathValue("id"))
 	view, err := s.tasks.Get(r.PathValue("id"))
 	if err != nil {
 		s.fail(w, err)
@@ -135,6 +137,7 @@ func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
 // replacement. O(1) per call, so it bypasses evaluation admission.
 func (s *Server) handleTaskVote(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	setTraceTask(w, id)
 	var req TaskVoteRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, err)
@@ -207,6 +210,7 @@ type TaskVoteBatchResponse struct {
 // the whole batch.
 func (s *Server) handleTaskVoteBatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	setTraceTask(w, id)
 	var req TaskVoteBatchRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, err)

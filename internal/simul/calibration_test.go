@@ -1,0 +1,86 @@
+package simul
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestOracleCalibrationDriftGap pins the simlab side of the insight
+// story on a scaled-down drift preset: the oracle-truth reliability
+// report is bit-identical at any worker count, its sample total accounts
+// for exactly the decided steps, and swapping the posterior estimator
+// for the oracle closes an accuracy gap the calibration report makes
+// visible.
+func TestOracleCalibrationDriftGap(t *testing.T) {
+	sc, err := Preset("drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Steps = 120
+	sc.Replications = 3
+	sc = sc.Normalize()
+
+	run := func(estimator string, workers int) *Report {
+		s := sc
+		s.Estimator = estimator
+		rep, err := Run(context.Background(), s, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	posterior := run(EstimatorPosterior, 1)
+	wide := run(EstimatorPosterior, 4)
+	a, err := posterior.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wide.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("worker count changed the calibration report:\n%s\n----\n%s", clip(a), clip(b))
+	}
+
+	cal := posterior.Summary.OracleCalibration
+	if cal == nil || len(cal.Bins) == 0 {
+		t.Fatalf("summary calibration missing or empty: %+v", cal)
+	}
+	var decided, perRep int64
+	for _, r := range posterior.Replications {
+		decided += int64(r.Decided)
+		if r.OracleCalibration == nil {
+			t.Fatalf("replication %d has no calibration report", r.Replication)
+		}
+		perRep += r.OracleCalibration.Total
+	}
+	if cal.Total != decided || perRep != decided {
+		t.Fatalf("calibration totals %d (summary) / %d (per-rep), want %d decided steps",
+			cal.Total, perRep, decided)
+	}
+	var binned int64
+	for _, bin := range cal.Bins {
+		binned += bin.Count
+		if bin.MeanRealized < 0 || bin.MeanRealized > 1 {
+			t.Errorf("bin [%g,%g): mean realized %g outside [0,1]", bin.Lo, bin.Hi, bin.MeanRealized)
+		}
+	}
+	if binned != cal.Total {
+		t.Fatalf("bins hold %d samples, total says %d", binned, cal.Total)
+	}
+
+	// The estimator gap: selection over the true rates must not lose to
+	// selection over the posterior's estimates, and both calibration
+	// reports carry a comparable Brier score for the EXPERIMENTS table.
+	oracle := run(EstimatorOracle, 2)
+	if oracle.Summary.OracleCalibration == nil {
+		t.Fatal("oracle run has no calibration report")
+	}
+	if gap := oracle.Summary.Accuracy - posterior.Summary.Accuracy; gap < 0 {
+		t.Errorf("oracle estimator accuracy %g below posterior %g",
+			oracle.Summary.Accuracy, posterior.Summary.Accuracy)
+	}
+}

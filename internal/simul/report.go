@@ -3,6 +3,7 @@ package simul
 import (
 	"encoding/json"
 
+	"juryselect/internal/insight"
 	"juryselect/internal/obs"
 )
 
@@ -122,10 +123,48 @@ type RepResult struct {
 	MeanVotesSpent float64 `json:"mean_votes_spent,omitempty"`
 	// FinalPoolVersion is the backend pool version after the last step —
 	// the number of published pool snapshots the run produced.
-	FinalPoolVersion uint64          `json:"final_pool_version,omitempty"`
-	Windows          []Window        `json:"windows"`
-	Latency          *LatencySummary `json:"latency,omitempty"`
-	Trace            []StepRecord    `json:"trace,omitempty"`
+	FinalPoolVersion uint64 `json:"final_pool_version,omitempty"`
+	// OracleCalibration bins each decided step's selection-time predicted
+	// JER against its oracle outcome (0 = the majority matched the latent
+	// truth, 1 = it did not) — the simlab counterpart of the production
+	// insight engine's reliability diagram, which only ever sees posterior
+	// confidence. Present whenever at least one step decided.
+	OracleCalibration *insight.ReliabilityReport `json:"oracle_calibration,omitempty"`
+	Windows           []Window                   `json:"windows"`
+	Latency           *LatencySummary            `json:"latency,omitempty"`
+	Trace             []StepRecord               `json:"trace,omitempty"`
+
+	// oracleCalib keeps the raw integer bins so summarize can merge
+	// replications exactly; the exported report is derived from it.
+	oracleCalib insight.Reliability
+}
+
+// oracleReliability folds each decided step of a replication trace into
+// reliability bins: predicted JER against the oracle 0/1 outcome.
+// Undecided and shed steps carry no outcome and are skipped.
+func oracleReliability(records []StepRecord) insight.Reliability {
+	var rel insight.Reliability
+	for _, r := range records {
+		if r.Shed || !r.Decided {
+			continue
+		}
+		realized := 0.0
+		if !r.Correct {
+			realized = 1
+		}
+		rel.Add(r.PredictedJER, realized)
+	}
+	return rel
+}
+
+// attachOracleCalibration derives the exported calibration report from
+// the replication's trace records.
+func (r *RepResult) attachOracleCalibration(records []StepRecord) {
+	r.oracleCalib = oracleReliability(records)
+	if r.oracleCalib.Total() > 0 {
+		rep := r.oracleCalib.Report()
+		r.OracleCalibration = &rep
+	}
 }
 
 // Summary aggregates across replications.
@@ -151,6 +190,10 @@ type Summary struct {
 	// exhausting their jury.
 	MeanVotesSpent float64 `json:"mean_votes_spent,omitempty"`
 	EarlyStopRate  float64 `json:"early_stop_rate,omitempty"`
+	// OracleCalibration merges every replication's reliability bins. The
+	// merge is commutative integer arithmetic, so the report is identical
+	// at any worker count.
+	OracleCalibration *insight.ReliabilityReport `json:"oracle_calibration,omitempty"`
 }
 
 // Report is the complete metrics document a run produces. In in-process
@@ -208,6 +251,14 @@ func summarize(sc Scenario, reps []RepResult) Summary {
 	}
 	if earlyStopped > 0 && decidedTasks > 0 {
 		s.EarlyStopRate = float64(earlyStopped) / float64(decidedTasks)
+	}
+	var calib insight.Reliability
+	for i := range reps {
+		calib.Merge(&reps[i].oracleCalib)
+	}
+	if calib.Total() > 0 {
+		rep := calib.Report()
+		s.OracleCalibration = &rep
 	}
 
 	s.WindowAccuracy = make([]float64, windows)

@@ -205,6 +205,7 @@ func runReplication(ctx context.Context, sc Scenario, rep int, be backend, eng *
 		res.MeanJurySize = float64(sumJurySize) / float64(scored)
 	}
 	res.Windows = windowize(sc, records)
+	res.attachOracleCalibration(records)
 	res.Latency = summarizeHist(&latHist)
 	if trace {
 		res.Trace = records

@@ -201,6 +201,7 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 		res.MeanVotesSpent = float64(res.TotalVotes) / float64(scored)
 	}
 	res.Windows = windowize(sc, records)
+	res.attachOracleCalibration(records)
 	res.Latency = summarizeHist(&latHist)
 	if trace {
 		res.Trace = records

@@ -1,0 +1,129 @@
+package tasks
+
+import "time"
+
+// The task event stream is the store's decision-level observability
+// feed: one Event per semantic state change (task opened, juror invited,
+// vote recorded, juror released, task closed), emitted from inside the
+// same apply functions that execute both live mutations and WAL replay.
+// That placement is the whole contract: a sink attached via
+// Config.Events before Open sees the identical event sequence whether
+// the store is serving live traffic or replaying the journal, so any
+// order-invariant reduction over the stream (internal/insight) is
+// rebuildable from the WAL alone.
+//
+// Delivery guarantees:
+//
+//   - Per task, events arrive in application order (live emission holds
+//     the task's shard mutex; replay is single-threaded in WAL order).
+//   - Across tasks, live delivery interleaves arbitrarily — shards
+//     mutate concurrently — while replay delivers in global WAL order.
+//     A sink that must match replay state bit-for-bit therefore has to
+//     be order-invariant across tasks (commutative integer updates).
+//   - Events for tasks restored from a compaction snapshot are NOT
+//     re-emitted: compaction folds history the journal no longer
+//     carries. A sink rebuilt by replay covers the retained WAL horizon
+//     only (votes on snapshot-restored tasks still arrive, prefixed by
+//     no TaskCreated — sinks should ignore tasks they never saw open).
+//
+// Sinks are called synchronously under the shard mutex and must not
+// call back into the Store.
+
+// EventType discriminates Event payloads.
+type EventType uint8
+
+const (
+	// EvTaskCreated: a task opened with its initial jury invited.
+	EvTaskCreated EventType = iota + 1
+	// EvJurorInvited: a replacement juror was invited after a release.
+	EvJurorInvited
+	// EvVoteRecorded: an invited juror's vote was applied.
+	EvVoteRecorded
+	// EvJurorReleased: an invited juror declined or timed out.
+	EvJurorReleased
+	// EvTaskClosed: the task reached a terminal status.
+	EvTaskClosed
+)
+
+// EventJuror is one invited juror within a TaskCreated event: the ID and
+// the error-rate estimate selection pinned at invitation time.
+type EventJuror struct {
+	ID        string
+	ErrorRate float64
+}
+
+// Event is one task state change. Fields beyond Type/Task/At are
+// populated per type; the struct is passed by value and, except for the
+// Jury slice on TaskCreated, allocation-free.
+type Event struct {
+	Type EventType
+	Task string
+	At   time.Time
+
+	// TaskCreated.
+	Pool             string
+	Strategy         string
+	PredictedJER     float64
+	TargetConfidence float64
+	Jury             []EventJuror
+
+	// JurorInvited, VoteRecorded, JurorReleased.
+	Juror     string
+	ErrorRate float64
+	// Vote and LatencyNS (invitation → vote, from journaled timestamps,
+	// so replay recomputes the identical value) are set on VoteRecorded.
+	Vote      bool
+	LatencyNS int64
+	// Timeout distinguishes a juror-timeout release from an explicit
+	// decline (JurorReleased).
+	Timeout bool
+
+	// TaskClosed.
+	Decided      bool
+	Answer       bool
+	Confidence   float64
+	EarlyStopped bool
+}
+
+// EventSink consumes the task event stream. Implementations must be
+// safe for concurrent use (live events arrive from many shards at once)
+// and must not call back into the emitting Store.
+type EventSink interface {
+	TaskEvent(ev Event)
+}
+
+// emitCreated publishes a TaskCreated event for an applied create record.
+func (s *Store) emitCreated(t *task, rec *record) {
+	if s.events == nil {
+		return
+	}
+	jury := make([]EventJuror, len(rec.Jury))
+	for i, j := range rec.Jury {
+		jury[i] = EventJuror{ID: j.ID, ErrorRate: j.ErrorRate}
+	}
+	s.events.TaskEvent(Event{
+		Type:             EvTaskCreated,
+		Task:             t.id,
+		At:               rec.At,
+		Pool:             rec.Spec.Pool,
+		Strategy:         rec.Spec.Strategy,
+		PredictedJER:     rec.PredictedJER,
+		TargetConfidence: rec.Spec.TargetConfidence,
+		Jury:             jury,
+	})
+}
+
+// emitClosed publishes the terminal event for a task that just closed.
+func (s *Store) emitClosed(t *task, at time.Time) {
+	if s.events == nil {
+		return
+	}
+	ev := Event{Type: EvTaskClosed, Task: t.id, At: at}
+	if t.verdict != nil {
+		ev.Decided = true
+		ev.Answer = t.verdict.Answer
+		ev.Confidence = t.verdict.Confidence
+		ev.EarlyStopped = t.verdict.EarlyStopped
+	}
+	s.events.TaskEvent(ev)
+}

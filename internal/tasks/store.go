@@ -70,6 +70,11 @@ type Config struct {
 	DefaultJurorTimeout     time.Duration
 	DefaultExpiry           time.Duration
 	DefaultTargetConfidence float64
+	// Events receives the task event stream (see events.go): every
+	// lifecycle transition, emitted identically by live mutations and by
+	// WAL replay during Open. Attach before Open so recovery feeds the
+	// sink the journaled history. nil disables emission entirely.
+	Events EventSink
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -238,9 +243,10 @@ type Store struct {
 	dir   string
 	epoch uint64 // guarded by holding every lock (Open/compaction only)
 
-	pools *pool.Store
-	eng   *jury.Engine
-	now   func() time.Time
+	pools  *pool.Store
+	eng    *jury.Engine
+	now    func() time.Time
+	events EventSink
 
 	defaultJurorTimeout time.Duration
 	defaultExpiry       time.Duration
@@ -278,6 +284,7 @@ func Open(cfg Config) (*Store, error) {
 		pools:               cfg.Pools,
 		eng:                 cfg.Engine,
 		now:                 cfg.Now,
+		events:              cfg.Events,
 		defaultJurorTimeout: cfg.DefaultJurorTimeout,
 		defaultExpiry:       cfg.DefaultExpiry,
 		defaultTarget:       cfg.DefaultTargetConfidence,
@@ -750,6 +757,7 @@ func (s *Store) applyCreate(sh *shard, rec *record, candidates []jury.Juror) *ta
 	}
 	s.nTasks.Add(1)
 	s.nOpen.Add(1)
+	s.emitCreated(t, rec)
 	return t
 }
 
@@ -839,6 +847,11 @@ func (s *Store) applyVote(t *task, jurorID string, voteYes bool, at time.Time) {
 	// The rate was validated at pool ingest and pinned at invitation, so
 	// Observe cannot fail.
 	t.post.Observe(voteYes, t.jurors[i].ErrorRate) //nolint:errcheck
+	if s.events != nil {
+		s.events.TaskEvent(Event{Type: EvVoteRecorded, Task: t.id, At: at,
+			Juror: jurorID, ErrorRate: t.jurors[i].ErrorRate, Vote: voteYes,
+			LatencyNS: at.Sub(t.jurors[i].InvitedAt).Nanoseconds()})
+	}
 	if t.status == StatusOpen {
 		s.setStatus(t, StatusAwaitingVotes)
 	}
@@ -892,6 +905,10 @@ func (s *Store) applyDecline(t *task, jurorID string, timeout bool, at time.Time
 		t.jurors[i].State = JurorDeclined
 	}
 	t.declines++
+	if s.events != nil {
+		s.events.TaskEvent(Event{Type: EvJurorReleased, Task: t.id, At: at,
+			Juror: jurorID, ErrorRate: t.jurors[i].ErrorRate, Timeout: timeout})
+	}
 	s.inviteReplacement(t, at)
 	s.closeCheck(t, at)
 }
@@ -919,6 +936,10 @@ func (s *Store) inviteReplacement(t *task, at time.Time) {
 		t.jurors = append(t.jurors, TaskJuror{ID: c.ID, ErrorRate: c.ErrorRate, Cost: c.Cost,
 			State: JurorInvited, InvitedAt: at})
 		t.index[c.ID] = len(t.jurors) - 1
+		if s.events != nil {
+			s.events.TaskEvent(Event{Type: EvJurorInvited, Task: t.id, At: at,
+				Juror: c.ID, ErrorRate: c.ErrorRate})
+		}
 		return
 	}
 }
@@ -934,6 +955,7 @@ func (s *Store) closeCheck(t *task, at time.Time) {
 		t.verdict = &Verdict{Answer: answer, Confidence: conf,
 			EarlyStopped: t.pending() > 0, DecidedAt: at}
 		s.setStatus(t, StatusDecided)
+		s.emitClosed(t, at)
 		return
 	}
 	if t.pending() > 0 {
@@ -944,9 +966,11 @@ func (s *Store) closeCheck(t *task, at time.Time) {
 	if t.post.Decisive() {
 		t.verdict = &Verdict{Answer: answer, Confidence: conf, DecidedAt: at}
 		s.setStatus(t, StatusDecided)
+		s.emitClosed(t, at)
 		return
 	}
 	s.setStatus(t, StatusExpired)
+	s.emitClosed(t, at)
 }
 
 // Sweep applies wall-clock policy at the given instant: tasks past their
@@ -999,7 +1023,7 @@ func (s *Store) Sweep(now time.Time) (released, expired int, err error) {
 				return released, expired, jerr
 			}
 			lastCommit = c
-			s.applyExpire(t)
+			s.applyExpire(t, now)
 			publish(t)
 			expired++
 		} else {
@@ -1025,11 +1049,12 @@ func (s *Store) Sweep(now time.Time) (released, expired int, err error) {
 
 // applyExpire closes the task without a verdict. Callers hold the shard
 // mutex.
-func (s *Store) applyExpire(t *task) {
+func (s *Store) applyExpire(t *task, at time.Time) {
 	if t.status.closed() {
 		return
 	}
 	s.setStatus(t, StatusExpired)
+	s.emitClosed(t, at)
 }
 
 // setStatus transitions a task and maintains the gauges. Callers hold
@@ -1115,7 +1140,7 @@ func (s *Store) applyRecord(rec *record) error {
 		if t == nil {
 			return fmt.Errorf("%w: %q", ErrTaskNotFound, rec.Task)
 		}
-		s.applyExpire(t)
+		s.applyExpire(t, rec.At)
 		return nil
 	default:
 		return fmt.Errorf("tasks: unknown wal record type %q", rec.Type)
