@@ -22,6 +22,7 @@ import (
 	"juryselect/internal/experiments"
 	"juryselect/internal/insight"
 	"juryselect/internal/jer"
+	"juryselect/internal/lifecycle"
 	"juryselect/internal/obs"
 	"juryselect/internal/randx"
 	"juryselect/internal/server"
@@ -692,22 +693,23 @@ func handlerSelectBench(cacheEntries int) func(b *testing.B) {
 	}
 }
 
-// handlerSelectInsightBench is the warm select with the crowd-insight
-// stack installed the way cmd/juryd installs it: an ephemeral task
-// store with the insight engine hooked on its event stream, and the
-// same engine attached to the server for /v1/insight. The select path
-// never touches either — the absolute allocation guard in
-// regressionGuards proves the hook keeps the warm select on its
+// handlerSelectInsightBench is the warm select with the full
+// observability stack installed the way cmd/juryd installs it: an
+// ephemeral task store with the insight AND lifecycle engines hooked
+// on its event stream, and both attached to the server. The select
+// path never touches either — the absolute allocation guard in
+// regressionGuards proves the hooks keep the warm select on its
 // 16-alloc diet.
 func handlerSelectInsightBench() func(b *testing.B) {
 	return func(b *testing.B) {
 		ins := insight.New(0)
-		store, err := tasks.Open(tasks.Config{Events: ins})
+		lce := lifecycle.New(0)
+		store, err := tasks.Open(tasks.Config{Events: tasks.Sinks(ins, lce)})
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer store.Close() //nolint:errcheck
-		srv := server.New(server.Config{Tasks: store, Insight: ins})
+		srv := server.New(server.Config{Tasks: store, Insight: ins, Lifecycle: lce})
 		if _, err := srv.Store().Put("crowd", benchPoolJurors(101)); err != nil {
 			b.Fatal(err)
 		}
@@ -727,6 +729,57 @@ func handlerSelectInsightBench() func(b *testing.B) {
 			}
 		}
 		run() // prime the cache and lazy pool state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	}
+}
+
+// handlerTaskTimelineBench measures GET /v1/tasks/{id}/timeline at the
+// handler level: one decided task's reconstruction — snapshot under
+// the engine lock, span assembly, fingerprint, JSON encode — which is
+// the read an operator's dashboard polls. The task is driven to an
+// early-stop verdict once during setup; every op re-serves the same
+// closed timeline.
+func handlerTaskTimelineBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		lce := lifecycle.New(0)
+		store, err := tasks.Open(tasks.Config{Events: lce})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close() //nolint:errcheck
+		if _, err := store.PutPool("crowd", benchPoolJurors(101)); err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		v, err := store.Create(ctx, tasks.Spec{Pool: "crowd", TargetConfidence: 0.95})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range v.Jurors {
+			out, err := store.Vote(ctx, v.ID, j.ID, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Status != tasks.StatusOpen && out.Status != tasks.StatusAwaitingVotes {
+				break
+			}
+		}
+		srv := server.New(server.Config{Tasks: store, Lifecycle: lce})
+		h := srv.Handler()
+		req := httptest.NewRequest(http.MethodGet, "/v1/tasks/"+v.ID+"/timeline", nil)
+		w := &nullWriter{h: make(http.Header)}
+		run := func() {
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		}
+		run()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -797,6 +850,7 @@ func serverBenches() []namedBench {
 		{"ServerSelect/warm/n101", handlerSelectBench(0)},
 		{"ServerSelect/warm-insight/n101", handlerSelectInsightBench()},
 		{"ServerSelect/miss/n101", handlerSelectBench(-1)},
+		{"ServerTaskTimeline/n101", handlerTaskTimelineBench()},
 		{"ServerSelectBatch/http/n101x16", httpBench("/v1/select/batch", batchBody(16), withPool(101))},
 		{"ServerJER/n101", httpBench("/v1/jer", string(jerBody), nil)},
 		{"PoolSnapshot/n1001", func(b *testing.B) {
@@ -866,6 +920,11 @@ var regressionGuards = []benchGuard{
 	// its absolute 16-alloc diet — an absolute cap, so the promise holds
 	// even before the snapshot is regenerated on a new machine.
 	{name: "ServerSelect/warm-insight/n101", axis: "allocs_per_op", limit: 16},
+	// PR 10's read-path guard: a timeline reconstruction is bounded work
+	// (spans of one task + fingerprint + encode); its allocation count is
+	// machine-independent, so a relative guard keeps it from quietly
+	// growing a per-span allocation.
+	{name: "ServerTaskTimeline/n101", axis: "allocs_per_op"},
 	{name: "ServerTaskCreate/n101", axis: "ns_per_op"},
 	{name: "ServerTaskVote/n101", axis: "ns_per_op"},
 	{name: "ServerTaskVote/n101", axis: "allocs_per_op"},

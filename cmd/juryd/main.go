@@ -11,6 +11,11 @@
 //	      [-sweep 1s] [-juror-timeout 60s] [-task-expiry 1h]
 //	      [-slow-ms N] [-trace-every N] [-trace-ring N] [-pprof-addr ADDR]
 //	      [-insight] [-insight-pairs N]
+//	      [-lifecycle] [-lifecycle-timelines N]
+//	      [-slo] [-slo-eval 10s] [-slo-compress N] [-stall-grace D]
+//	      [-slo-verdict-threshold 60s] [-slo-verdict-target 0.99]
+//	      [-slo-expired-target 0.99] [-slo-http-target 0.999]
+//	      [-slo-fsync-threshold 50ms] [-slo-fsync-target 0.999]
 //
 // Endpoints:
 //
@@ -28,7 +33,10 @@
 //	GET    /v1/insight/jurors       per-juror profiles: response rates, realized error, latency
 //	GET    /v1/insight/calibration  predicted-JER reliability diagram and Brier score
 //	GET    /v1/insight/agreement    co-vote pair agreement with above-chance z-scores
-//	GET    /healthz                  200 serving / 503 draining (plus WAL queue depth)
+//	GET    /v1/tasks/{id}/timeline   one task's reconstructed life as ordered spans
+//	GET    /v1/lifecycle             aggregate time-to-verdict/first-vote distributions
+//	GET    /v1/slo                   error-budget burn rates and alert state per objective
+//	GET    /healthz                  200 serving / 503 draining (plus WAL queue depth and sweep-stall watchdog)
 //	GET    /metrics                  request, shed, engine, task and WAL counters (JSON)
 //	GET    /metrics/prometheus       the same counters in Prometheus text format
 //	GET    /debug/traces             recent request traces with per-stage timing
@@ -40,6 +48,18 @@
 // at least that slow. -pprof-addr serves net/http/pprof on a separate
 // listener, kept off the service port so profiling is never exposed
 // through the load balancer.
+//
+// Lifecycle and SLOs: -lifecycle (default on) reconstructs every
+// task's timeline from the same event stream that feeds -insight —
+// attached before WAL replay, so a restarted juryd serves byte-identical
+// timelines. -slo (default on) tracks four declarative objectives as
+// error budgets — verdict latency, undecided/expired rate, HTTP 5xx
+// rate, and WAL fsync latency — with multi-window burn-rate alerting
+// (fast 5m/1h pair at 14.4×, slow 6h/3d pair at 1×); trips are logged
+// and exported as juryd_slo_* series. -slo-compress N divides every
+// window by N (CI smokes compress 1000× to trip alerts in seconds).
+// The sweep watchdog flags tasks stuck past their juror timeout with
+// no sweeper progress into /healthz ("degraded" + stall block).
 //
 // Durability: with -wal-dir set, every pool and task mutation is
 // journaled to a CRC-framed write-ahead log (fsync policy per -fsync:
@@ -89,6 +109,7 @@ import (
 
 	"juryselect/internal/dataio"
 	"juryselect/internal/insight"
+	"juryselect/internal/lifecycle"
 	"juryselect/internal/server"
 	"juryselect/internal/tasks"
 	"juryselect/jury"
@@ -131,6 +152,43 @@ type config struct {
 
 	insightOn bool
 	pairCap   int
+
+	lifecycleOn bool
+	timelineCap int
+
+	sloOn            bool
+	sloEval          time.Duration
+	sloCompress      int
+	stallGrace       time.Duration
+	verdictThreshold time.Duration
+	verdictTarget    float64
+	expiredTarget    float64
+	httpTarget       float64
+	fsyncThreshold   time.Duration
+	fsyncTarget      float64
+}
+
+// objectives renders the -slo-* flags as the declarative objective set
+// loaded at start. Latency thresholds ≤ 0 drop that objective.
+func (c *config) objectives() []lifecycle.Objective {
+	var out []lifecycle.Objective
+	if c.verdictThreshold > 0 {
+		out = append(out, lifecycle.Objective{
+			Name: "verdict-latency", SLI: lifecycle.SLIVerdictLatency,
+			Target: c.verdictTarget, ThresholdNS: c.verdictThreshold.Nanoseconds(),
+		})
+	}
+	out = append(out,
+		lifecycle.Objective{Name: "task-expiry", SLI: lifecycle.SLIExpiredRate, Target: c.expiredTarget},
+		lifecycle.Objective{Name: "http-availability", SLI: lifecycle.SLIHTTP5xx, Target: c.httpTarget},
+	)
+	if c.fsyncThreshold > 0 {
+		out = append(out, lifecycle.Objective{
+			Name: "wal-fsync", SLI: lifecycle.SLIWALFsync,
+			Target: c.fsyncTarget, ThresholdNS: c.fsyncThreshold.Nanoseconds(),
+		})
+	}
+	return out
 }
 
 func main() {
@@ -159,6 +217,18 @@ func main() {
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.BoolVar(&cfg.insightOn, "insight", true, "maintain juror/calibration/agreement analytics from the task event stream (serves /v1/insight/*)")
 	flag.IntVar(&cfg.pairCap, "insight-pairs", 0, "co-vote pair tracker capacity (0 = default)")
+	flag.BoolVar(&cfg.lifecycleOn, "lifecycle", true, "reconstruct per-task timelines from the task event stream (serves /v1/tasks/{id}/timeline and /v1/lifecycle)")
+	flag.IntVar(&cfg.timelineCap, "lifecycle-timelines", 0, "closed timelines retained before lowest-ID eviction (0 = default)")
+	flag.BoolVar(&cfg.sloOn, "slo", true, "track SLOs as error budgets with burn-rate alerts (serves /v1/slo, exports juryd_slo_*)")
+	flag.DurationVar(&cfg.sloEval, "slo-eval", 10*time.Second, "burn-rate evaluation and HTTP-SLI poll period (0 = evaluate only on scrape)")
+	flag.IntVar(&cfg.sloCompress, "slo-compress", 1, "divide every alerting window by N (CI smoke runs compressed policies)")
+	flag.DurationVar(&cfg.stallGrace, "stall-grace", 0, "slack past the juror timeout before the watchdog flags a task as stalled (0 = 3 sweep periods)")
+	flag.DurationVar(&cfg.verdictThreshold, "slo-verdict-threshold", time.Minute, "verdict-latency objective threshold: creation to verdict (0 = drop the objective)")
+	flag.Float64Var(&cfg.verdictTarget, "slo-verdict-target", 0.99, "fraction of verdicts that must land within -slo-verdict-threshold")
+	flag.Float64Var(&cfg.expiredTarget, "slo-expired-target", 0.99, "fraction of closed tasks that must decide (not expire undecided)")
+	flag.Float64Var(&cfg.httpTarget, "slo-http-target", 0.999, "fraction of non-ops requests that must not 5xx")
+	flag.DurationVar(&cfg.fsyncThreshold, "slo-fsync-threshold", 50*time.Millisecond, "WAL fsync latency objective threshold (0 = drop the objective)")
+	flag.Float64Var(&cfg.fsyncTarget, "slo-fsync-target", 0.999, "fraction of WAL fsyncs that must land within -slo-fsync-threshold")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -194,14 +264,33 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 		return fmt.Errorf("bad -fsync %q (want always, batch or off)", cfg.fsync)
 	}
 	eng := jury.NewEngine(jury.BatchOptions{Workers: cfg.workers, CacheSize: cfg.cacheSize})
-	// The insight engine attaches before Open so WAL recovery replays the
-	// whole task history into it; the live tail then feeds the same sink,
-	// which is what makes /v1/insight fingerprints restart-stable.
+	// The insight and lifecycle engines attach before Open so WAL recovery
+	// replays the whole task history into them; the live tail then feeds
+	// the same sinks, which is what makes /v1/insight fingerprints and
+	// /v1/tasks/{id}/timeline bytes restart-stable.
 	var ins *insight.Engine
-	var events tasks.EventSink
+	var sinks []tasks.EventSink
 	if cfg.insightOn {
 		ins = insight.New(cfg.pairCap)
-		events = ins
+		sinks = append(sinks, ins)
+	}
+	var lce *lifecycle.Engine
+	if cfg.lifecycleOn {
+		lce = lifecycle.New(cfg.timelineCap)
+		sinks = append(sinks, lce)
+	}
+	var slo *lifecycle.SLO
+	var fsyncObs func(int64)
+	if cfg.sloOn {
+		windows := lifecycle.DefaultBurnWindows().Compress(cfg.sloCompress)
+		slo = lifecycle.NewSLO(cfg.objectives(), windows, nil, logger)
+		fsyncObs = slo.ObserveFsync
+		if lce != nil {
+			// Verdict-latency and expired-rate events flow through the
+			// lifecycle engine with journaled timestamps, so replay
+			// backfills the same burn windows a live feed filled.
+			lce.AttachSLO(slo)
+		}
 	}
 	store, err := tasks.Open(tasks.Config{
 		Dir:                 cfg.walDir,
@@ -211,7 +300,8 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 		Shards:              cfg.taskShards,
 		DefaultJurorTimeout: cfg.jurorTimeout,
 		DefaultExpiry:       cfg.taskExpiry,
-		Events:              events,
+		Events:              tasks.Sinks(sinks...),
+		FsyncObserver:       fsyncObs,
 	})
 	if err != nil {
 		return err
@@ -230,10 +320,17 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 			logger.Warn("wal truncated torn tail (crash mid-write)", "bytes", rec.TornBytes)
 		}
 	}
+	var wd *lifecycle.Watchdog
+	if cfg.sweep > 0 || cfg.stallGrace > 0 {
+		wd = lifecycle.NewWatchdog(store, cfg.stallGrace, cfg.sweep)
+	}
 	srv := server.New(server.Config{
 		Engine:             eng,
 		Tasks:              store,
 		Insight:            ins,
+		Lifecycle:          lce,
+		SLO:                slo,
+		Watchdog:           wd,
 		MaxInflight:        cfg.maxInflight,
 		MaxQueue:           cfg.maxQueue,
 		SelectCacheEntries: cfg.selectCache,
@@ -284,6 +381,38 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready chan<- stri
 					if _, _, err := store.Sweep(time.Now().UTC()); err != nil {
 						logger.Error("sweep failed", "err", err)
 					}
+				}
+			}
+		}()
+	}
+
+	// The SLO ticker polls the HTTP-SLI counters and evaluates burn
+	// rates, logging alert transitions even when nobody scrapes. The
+	// event-driven SLIs (verdicts, fsyncs) accumulate continuously; this
+	// loop only decides when alerts flip.
+	stopSLO := func() {}
+	if slo != nil && cfg.sloEval > 0 {
+		sloDone := make(chan struct{})
+		sloExited := make(chan struct{})
+		var sloOnce sync.Once
+		stopSLO = func() {
+			sloOnce.Do(func() {
+				close(sloDone)
+				<-sloExited
+			})
+		}
+		defer stopSLO()
+		go func() {
+			defer close(sloExited)
+			ticker := time.NewTicker(cfg.sloEval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-sloDone:
+					return
+				case <-ticker.C:
+					srv.PollSLO()
+					slo.Evaluate(time.Now().UTC())
 				}
 			}
 		}()

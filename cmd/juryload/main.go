@@ -270,6 +270,10 @@ func printSummary(w io.Writer, rep *simul.Report, elapsed time.Duration) {
 		}
 		fmt.Fprintf(w, "votes/task %.2f  early-stop rate %.2f  declines %d  replacements %d\n",
 			s.MeanVotesSpent, s.EarlyStopRate, declines, replacements)
+		if s.MeanVotesToVerdict > 0 {
+			fmt.Fprintf(w, "time-to-verdict %.2f votes (jury %.2f seats, saved %.2f/verdict vs fixed)\n",
+				s.MeanVotesToVerdict, s.MeanJurySize, s.MeanVotesSaved)
+		}
 	}
 	if rep.Mode == simul.ModeHTTP {
 		fmt.Fprintf(w, "shed %d steps (rate %.4f), %d retries absorbed\n", s.TotalShed, s.ShedRate, s.TotalRetries)

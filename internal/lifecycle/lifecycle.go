@@ -1,0 +1,292 @@
+// Package lifecycle is juryd's task-lifetime observability layer: a
+// per-task timeline reconstructor and latency aggregator over the task
+// event stream (internal/tasks.EventSink), with a declarative SLO
+// engine and a sweep-stall watchdog layered on top.
+//
+// The Engine consumes the stream identically live (attached via
+// tasks.Config.Events before Open, called under shard mutexes) and cold
+// (WAL replay through the same apply path). Its retained state is
+// per-task event lists — each ordered by that task's application order,
+// which the store guarantees is identical live and replay — plus
+// aggregate histograms folded from one task's own record at its close
+// event. Both are order-invariant across tasks, so the live tail and a
+// cold replay of the same WAL horizon render byte-identical timelines
+// and an identical engine fingerprint; the restart CI smoke compares a
+// task's timeline byte-for-byte across a kill -9.
+//
+// Events for tasks created beyond the compaction horizon (restored
+// from snapshot, so replay never sees their TaskCreated) are counted in
+// UnknownTaskEvents and produce no timeline. Closed timelines beyond
+// TaskCap are evicted lowest-ID-first — a rule that depends only on the
+// set of retained IDs, never on cross-task arrival order, preserving
+// the replay-identity property under memory pressure.
+package lifecycle
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"juryselect/internal/obs"
+	"juryselect/internal/tasks"
+)
+
+// DefaultTaskCap bounds retained closed timelines. Open tasks are never
+// evicted (their timeline is still growing and the store bounds open
+// cardinality operationally); 1<<16 closed timelines ≈ tens of MB at
+// typical jury sizes.
+const DefaultTaskCap = 1 << 16
+
+// evKind discriminates post-create timeline events. Values order the
+// JSON span kinds; keep in sync with spanKinds.
+type evKind uint8
+
+const (
+	evInvite evKind = iota + 1
+	evVote
+	evDecline
+	evTimeout
+)
+
+// taskEvent is one post-create state change retained for rendering.
+type taskEvent struct {
+	kind      evKind
+	at        time.Time
+	juror     string
+	eps       float64
+	vote      bool
+	latencyNS int64 // vote events: journaled invitation → vote
+}
+
+// taskRecord is the engine's retained state for one task: the creation
+// header plus the ordered post-create event list. Everything needed to
+// render the timeline deterministically.
+type taskRecord struct {
+	id           string
+	createdAt    time.Time
+	pool         string
+	strategy     string
+	poolVersion  uint64
+	predictedJER float64
+	targetConf   float64
+	jury         []tasks.EventJuror
+	events       []taskEvent
+
+	closed       bool
+	closedAt     time.Time
+	decided      bool
+	answer       bool
+	confidence   float64
+	earlyStopped bool
+	firstVoteNS  int64 // offset from createdAt; -1 until the first vote
+}
+
+// aggKey buckets aggregate latency state.
+type aggKey struct {
+	strategy string
+	outcome  string // "decided" | "expired"
+}
+
+// aggregate accumulates per-(strategy, outcome) latency distributions,
+// folded exclusively from a single task's record at its close event so
+// the updates commute across tasks.
+type aggregate struct {
+	tasks        int64
+	votes        int64
+	invites      int64
+	declines     int64
+	timeouts     int64
+	earlyStopped int64
+	ttv          obs.Histogram // created → closed
+	ttfv         obs.Histogram // created → first vote (tasks with ≥1 vote)
+	inviteVote   obs.Histogram // per vote: invitation → vote
+}
+
+// Engine is the timeline sink. It implements tasks.EventSink; attach it
+// via tasks.Config.Events (combine with other sinks through
+// tasks.Sinks) before Open so recovery replays history into it, then
+// leave it attached for the live tail. TaskEvent runs under task-store
+// shard mutexes: the engine's lock is leaf-level and nothing here calls
+// back into the store.
+type Engine struct {
+	mu      sync.Mutex
+	records map[string]*taskRecord
+	// closedIDs holds retained closed-task IDs in ascending order (task
+	// IDs are zero-padded, so string order is creation order); eviction
+	// pops the front.
+	closedIDs []string
+	taskCap   int
+	aggs      map[aggKey]*aggregate
+
+	slo *SLO // optional; fed time-to-verdict samples at close
+
+	events       int64
+	tasksCreated int64
+	tasksDecided int64
+	tasksExpired int64
+	votesSeen    int64
+	declinesSeen int64
+	timeoutsSeen int64
+	replacements int64
+	unknownTask  int64
+	evicted      int64
+}
+
+// New returns an engine retaining at most taskCap closed timelines;
+// taskCap <= 0 selects DefaultTaskCap.
+func New(taskCap int) *Engine {
+	if taskCap <= 0 {
+		taskCap = DefaultTaskCap
+	}
+	return &Engine{
+		records: make(map[string]*taskRecord),
+		taskCap: taskCap,
+		aggs:    make(map[aggKey]*aggregate),
+	}
+}
+
+// AttachSLO wires an SLO engine to receive verdict-latency and
+// expired-rate samples at each task close, stamped with the journaled
+// close time so WAL replay backfills the same windows a live feed would
+// have filled. Call before the store opens.
+func (e *Engine) AttachSLO(s *SLO) { e.slo = s }
+
+// TaskEvent consumes one task state change. See the package comment for
+// the ordering contract.
+func (e *Engine) TaskEvent(ev tasks.Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events++
+	switch ev.Type {
+	case tasks.EvTaskCreated:
+		e.tasksCreated++
+		jury := make([]tasks.EventJuror, len(ev.Jury))
+		copy(jury, ev.Jury)
+		e.records[ev.Task] = &taskRecord{
+			id:           ev.Task,
+			createdAt:    ev.At,
+			pool:         ev.Pool,
+			strategy:     ev.Strategy,
+			poolVersion:  ev.PoolVersion,
+			predictedJER: ev.PredictedJER,
+			targetConf:   ev.TargetConfidence,
+			jury:         jury,
+			firstVoteNS:  -1,
+		}
+	case tasks.EvJurorInvited:
+		e.replacements++
+		e.append(ev.Task, taskEvent{kind: evInvite, at: ev.At, juror: ev.Juror, eps: ev.ErrorRate})
+	case tasks.EvVoteRecorded:
+		e.votesSeen++
+		r := e.append(ev.Task, taskEvent{kind: evVote, at: ev.At, juror: ev.Juror,
+			eps: ev.ErrorRate, vote: ev.Vote, latencyNS: ev.LatencyNS})
+		if r != nil && r.firstVoteNS < 0 {
+			r.firstVoteNS = ev.At.Sub(r.createdAt).Nanoseconds()
+		}
+	case tasks.EvJurorReleased:
+		kind := evDecline
+		if ev.Timeout {
+			kind = evTimeout
+			e.timeoutsSeen++
+		} else {
+			e.declinesSeen++
+		}
+		e.append(ev.Task, taskEvent{kind: kind, at: ev.At, juror: ev.Juror, eps: ev.ErrorRate})
+	case tasks.EvTaskClosed:
+		r := e.records[ev.Task]
+		if r == nil {
+			e.unknownTask++
+			return
+		}
+		r.closed = true
+		r.closedAt = ev.At
+		r.decided = ev.Decided
+		r.answer = ev.Answer
+		r.confidence = ev.Confidence
+		r.earlyStopped = ev.EarlyStopped
+		if ev.Decided {
+			e.tasksDecided++
+		} else {
+			e.tasksExpired++
+		}
+		e.fold(r)
+		if e.slo != nil {
+			e.slo.ObserveVerdict(ev.At, ev.At.Sub(r.createdAt).Nanoseconds(), ev.Decided)
+		}
+		e.retain(ev.Task)
+	}
+}
+
+// append records a post-create event on the task, returning its record
+// (nil for tasks beyond the compaction horizon).
+func (e *Engine) append(task string, te taskEvent) *taskRecord {
+	r := e.records[task]
+	if r == nil {
+		e.unknownTask++
+		return nil
+	}
+	r.events = append(r.events, te)
+	return r
+}
+
+// retain enters a freshly closed task into the bounded closed set,
+// evicting the lowest retained ID while over cap. Task IDs are
+// monotonic, so the sorted insert is an append in the common case.
+func (e *Engine) retain(id string) {
+	i := sort.SearchStrings(e.closedIDs, id)
+	e.closedIDs = append(e.closedIDs, "")
+	copy(e.closedIDs[i+1:], e.closedIDs[i:])
+	e.closedIDs[i] = id
+	for len(e.closedIDs) > e.taskCap {
+		evict := e.closedIDs[0]
+		e.closedIDs = e.closedIDs[1:]
+		delete(e.records, evict)
+		e.evicted++
+	}
+}
+
+// fold adds one closed task's record to its (strategy, outcome)
+// aggregate. Reads only the task's own state, so the update commutes
+// with every other task's fold.
+func (e *Engine) fold(r *taskRecord) {
+	key := aggKey{strategy: r.strategy, outcome: outcomeOf(r)}
+	a := e.aggs[key]
+	if a == nil {
+		a = &aggregate{}
+		e.aggs[key] = a
+	}
+	a.tasks++
+	a.invites += int64(len(r.jury))
+	if r.earlyStopped {
+		a.earlyStopped++
+	}
+	for i := range r.events {
+		switch te := &r.events[i]; te.kind {
+		case evInvite:
+			a.invites++
+		case evVote:
+			a.votes++
+			a.inviteVote.Observe(te.latencyNS)
+		case evDecline:
+			a.declines++
+		case evTimeout:
+			a.timeouts++
+		}
+	}
+	a.ttv.Observe(r.closedAt.Sub(r.createdAt).Nanoseconds())
+	if r.firstVoteNS >= 0 {
+		a.ttfv.Observe(r.firstVoteNS)
+	}
+}
+
+// outcomeOf renders a record's terminal bucket.
+func outcomeOf(r *taskRecord) string {
+	switch {
+	case !r.closed:
+		return "open"
+	case r.decided:
+		return "decided"
+	default:
+		return "expired"
+	}
+}

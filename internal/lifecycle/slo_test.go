@@ -1,0 +1,148 @@
+package lifecycle_test
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+	"time"
+
+	"juryselect/internal/lifecycle"
+)
+
+// compressedWindows is the default policy shrunk 1000×: fast pair
+// 300ms/3.6s, slow pair 21.6s/259.2s, same burn thresholds. The CI
+// smoke uses the same compression against juryd flags.
+func compressedWindows() lifecycle.BurnWindows {
+	return lifecycle.DefaultBurnWindows().Compress(1000)
+}
+
+func TestSLOFastBurnAlertFiresAndResolves(t *testing.T) {
+	clk := newTestClock()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	w := compressedWindows()
+	slo := lifecycle.NewSLO([]lifecycle.Objective{
+		{Name: "verdict-p99", SLI: lifecycle.SLIVerdictLatency, Target: 0.99,
+			ThresholdNS: int64(time.Second)},
+	}, w, clk.now, logger)
+
+	// All-good traffic: no alert.
+	for i := 0; i < 50; i++ {
+		slo.ObserveVerdict(clk.advance(w.FastShort/25), int64(time.Millisecond), true)
+	}
+	st := slo.Evaluate(clk.now())[0]
+	if st.FastAlert || st.SlowAlert || st.FastTrips != 0 {
+		t.Fatalf("healthy status = %+v", st)
+	}
+	if st.BudgetRemaining != 1 {
+		t.Fatalf("untouched budget remaining = %g, want 1", st.BudgetRemaining)
+	}
+
+	// Total failure: every verdict blows the threshold. The bad fraction
+	// hits 100× budget in both fast windows — far past 14.4×.
+	for i := 0; i < 50; i++ {
+		slo.ObserveVerdict(clk.advance(w.FastShort/25), int64(10*time.Second), true)
+	}
+	st = slo.Evaluate(clk.now())[0]
+	if !st.FastAlert || st.FastTrips != 1 {
+		t.Fatalf("burning status = %+v", st)
+	}
+	if st.BurnFastShort < w.FastBurn || st.BurnFastLong < w.FastBurn {
+		t.Fatalf("burn rates %g/%g below threshold %g", st.BurnFastShort, st.BurnFastLong, w.FastBurn)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("slo fast burn-rate alert firing")) {
+		t.Fatalf("no firing log line in: %s", logBuf.String())
+	}
+
+	// Recovery: good traffic pushes the short window back under the
+	// threshold and the alert resolves (the long window may still burn).
+	logBuf.Reset()
+	for i := 0; i < 200; i++ {
+		slo.ObserveVerdict(clk.advance(w.FastShort/25), int64(time.Millisecond), true)
+	}
+	st = slo.Evaluate(clk.now())[0]
+	if st.FastAlert {
+		t.Fatalf("alert still active after recovery: %+v", st)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("slo fast burn-rate alert resolved")) {
+		t.Fatalf("no resolved log line in: %s", logBuf.String())
+	}
+}
+
+func TestSLOBothWindowsRequired(t *testing.T) {
+	// A short spike alone (empty long window) must not page: the fast
+	// alert needs BOTH windows over threshold.
+	clk := newTestClock()
+	w := compressedWindows()
+	slo := lifecycle.NewSLO([]lifecycle.Objective{
+		{Name: "http", SLI: lifecycle.SLIHTTP5xx, Target: 0.999},
+	}, w, clk.now, slog.New(slog.DiscardHandler))
+
+	// Seed a long stretch of good traffic, then one bad burst: the short
+	// window burns hard but the long window stays diluted.
+	for i := 0; i < 100; i++ {
+		slo.Observe(lifecycle.SLIHTTP5xx, clk.advance(w.FastLong/100), 100, 0)
+	}
+	slo.Observe(lifecycle.SLIHTTP5xx, clk.now(), 0, 60)
+	st := slo.Evaluate(clk.now())[0]
+	if st.BurnFastShort < w.FastBurn {
+		t.Fatalf("short window burn %g, expected a spike past %g", st.BurnFastShort, w.FastBurn)
+	}
+	if st.FastAlert {
+		t.Fatalf("one-window spike paged: %+v", st)
+	}
+}
+
+func TestSLOExpiredRateAndTargetClamp(t *testing.T) {
+	clk := newTestClock()
+	w := compressedWindows()
+	slo := lifecycle.NewSLO([]lifecycle.Objective{
+		{Name: "expired", SLI: lifecycle.SLIExpiredRate, Target: 2.0}, // clamped to 0.99999
+	}, w, clk.now, slog.New(slog.DiscardHandler))
+	slo.ObserveVerdict(clk.now(), int64(time.Second), true)
+	slo.ObserveVerdict(clk.now(), 0, false)
+	st := slo.Evaluate(clk.now())[0]
+	if st.Target != 0.99999 {
+		t.Fatalf("target = %g, want clamp to 0.99999", st.Target)
+	}
+	if st.Good != 1 || st.Bad != 1 {
+		t.Fatalf("totals = %d/%d, want 1/1", st.Good, st.Bad)
+	}
+}
+
+func TestSLOFsyncObjective(t *testing.T) {
+	clk := newTestClock()
+	slo := lifecycle.NewSLO([]lifecycle.Objective{
+		{Name: "fsync", SLI: lifecycle.SLIWALFsync, Target: 0.95,
+			ThresholdNS: int64(10 * time.Millisecond)},
+	}, compressedWindows(), clk.now, slog.New(slog.DiscardHandler))
+	slo.ObserveFsync(int64(time.Millisecond))
+	slo.ObserveFsync(int64(50 * time.Millisecond))
+	st := slo.Evaluate(clk.now())[0]
+	if st.Good != 1 || st.Bad != 1 {
+		t.Fatalf("fsync totals = %d/%d, want 1/1", st.Good, st.Bad)
+	}
+}
+
+func TestSLOSnapshotShape(t *testing.T) {
+	clk := newTestClock()
+	w := compressedWindows()
+	slo := lifecycle.NewSLO([]lifecycle.Objective{
+		{Name: "a", SLI: lifecycle.SLIHTTP5xx, Target: 0.999},
+		{Name: "b", SLI: lifecycle.SLIExpiredRate, Target: 0.9},
+	}, w, clk.now, slog.New(slog.DiscardHandler))
+	snap := slo.Snapshot(clk.now())
+	if snap.Windows != w || len(snap.Objectives) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !snap.EvaluatedAt.Equal(clk.now()) {
+		t.Fatalf("evaluated at %v", snap.EvaluatedAt)
+	}
+	for _, o := range snap.Objectives {
+		// Finite, zero-valued burns on an empty tracker — the Prometheus
+		// exposition rejects NaN/Inf.
+		if o.BurnFastShort != 0 || o.BurnSlowLong != 0 || o.BudgetRemaining != 1 {
+			t.Fatalf("empty objective status = %+v", o)
+		}
+	}
+}

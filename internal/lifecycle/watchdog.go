@@ -1,0 +1,84 @@
+package lifecycle
+
+import (
+	"time"
+
+	"juryselect/internal/tasks"
+)
+
+// StallReport is the watchdog's verdict on sweep health, surfaced in
+// /healthz. A task is "stalled" when an invited juror sat past
+// timeout+grace without the sweeper releasing them; the sweeper itself
+// is "stalled" when its last completed run is older than several
+// intervals. The two signals separate "work is overdue" (sweeper dead,
+// or drowning) from "nothing was due" (healthy idle).
+type StallReport struct {
+	StalledTasks    int   `json:"stalled_tasks"`
+	OldestOverdueNS int64 `json:"oldest_overdue_ns,omitempty"`
+	Sweeps          int64 `json:"sweeps"`
+	SweepReleased   int64 `json:"sweep_released"`
+	SweepExpired    int64 `json:"sweep_expired"`
+	// LastSweepAgeNS is -1 before the first sweep completes.
+	LastSweepAgeNS int64 `json:"last_sweep_age_ns"`
+	SweeperStalled bool  `json:"sweeper_stalled"`
+	Healthy        bool  `json:"healthy"`
+}
+
+// Watchdog flags tasks stuck past their juror timeout with no sweeper
+// progress. Check is a lock-free scan (published view snapshots), cheap
+// enough for every /healthz probe.
+type Watchdog struct {
+	store *tasks.Store
+	// grace is how far past the juror timeout an invite may sit before
+	// it counts as stalled — the sweeper's expected cadence plus slack.
+	grace time.Duration
+	// interval is the configured sweep period; zero disables the
+	// sweeper-liveness check (deployments driving Sweep manually).
+	interval time.Duration
+}
+
+// NewWatchdog builds a watchdog for the store. grace <= 0 defaults to
+// three sweep intervals (or 30s when the interval is unknown).
+func NewWatchdog(store *tasks.Store, grace, interval time.Duration) *Watchdog {
+	if grace <= 0 {
+		if interval > 0 {
+			grace = 3 * interval
+		} else {
+			grace = 30 * time.Second
+		}
+	}
+	return &Watchdog{store: store, grace: grace, interval: interval}
+}
+
+// Check evaluates sweep health at the given instant.
+func (w *Watchdog) Check(now time.Time) StallReport {
+	stalled, oldest := w.store.StalledInvites(now, w.grace)
+	prog := w.store.SweepProgress()
+	rep := StallReport{
+		StalledTasks:    stalled,
+		OldestOverdueNS: oldest.Nanoseconds(),
+		Sweeps:          prog.Sweeps,
+		SweepReleased:   prog.Released,
+		SweepExpired:    prog.Expired,
+		LastSweepAgeNS:  -1,
+	}
+	if !prog.LastSweepAt.IsZero() {
+		rep.LastSweepAgeNS = now.Sub(prog.LastSweepAt).Nanoseconds()
+	}
+	if w.interval > 0 {
+		// The sweeper is stalled once its silence exceeds both the grace
+		// and three intervals — a fresh boot gets the same allowance
+		// before its first tick counts against it.
+		allowance := w.grace
+		if 3*w.interval > allowance {
+			allowance = 3 * w.interval
+		}
+		if rep.LastSweepAgeNS < 0 {
+			rep.SweeperStalled = stalled > 0
+		} else {
+			rep.SweeperStalled = rep.LastSweepAgeNS > allowance.Nanoseconds()
+		}
+	}
+	rep.Healthy = rep.StalledTasks == 0 && !rep.SweeperStalled
+	return rep
+}

@@ -4,10 +4,14 @@ import (
 	"expvar"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	runtimemetrics "runtime/metrics"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"juryselect/internal/insight"
+	"juryselect/internal/lifecycle"
 	"juryselect/internal/obs"
 )
 
@@ -45,6 +49,12 @@ type healthResponse struct {
 
 	WALCommitQueueDepth *int64 `json:"wal_commit_queue_depth,omitempty"`
 	LastRecoveryNS      *int64 `json:"last_recovery_ns,omitempty"`
+
+	// Stall is the sweep watchdog's verdict, present when one is
+	// configured: tasks stuck past their juror timeout with no sweeper
+	// progress flip Status to "degraded" (still 200 — the process serves;
+	// an operator should look at the sweeper).
+	Stall *lifecycle.StallReport `json:"stall,omitempty"`
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 once the
@@ -62,6 +72,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		recovery := s.tasks.Recovery().Duration.Nanoseconds()
 		resp.WALCommitQueueDepth = &depth
 		resp.LastRecoveryNS = &recovery
+	}
+	if s.watchdog != nil {
+		rep := s.watchdog.Check(time.Now().UTC())
+		resp.Stall = &rep
+		if !rep.Healthy {
+			resp.Status = "degraded"
+		}
 	}
 	status := http.StatusOK
 	if s.m.draining.Load() {
@@ -115,6 +132,15 @@ type metricsResponse struct {
 	// full profiles/diagrams live behind /v1/insight/*.
 	Insight *insight.Stats `json:"insight,omitempty"`
 
+	// Lifecycle reports the timeline engine's counters when one is
+	// attached; omitted otherwise. Counters only — full timelines and
+	// aggregates live behind /v1/tasks/{id}/timeline and /v1/lifecycle.
+	Lifecycle *lifecycle.Stats `json:"lifecycle,omitempty"`
+
+	// SLO reports every objective's burn rates and alert state, evaluated
+	// at scrape time; omitted when no tracker is configured.
+	SLO *lifecycle.SLOSnapshot `json:"slo,omitempty"`
+
 	// Endpoints maps every instrumented route to its request/error
 	// counts and latency summary; Stages maps each internal request
 	// stage (queue wait, decode, engine, WAL wait, …) to its latency
@@ -124,7 +150,48 @@ type metricsResponse struct {
 
 	// Runtime is the process block: scheduler and heap gauges.
 	Runtime runtimeStats `json:"runtime"`
+
+	// Build identifies the running binary; UptimeSeconds is the age of
+	// this Server (and in juryd, of the process — one Server per process).
+	Build         buildStats `json:"build"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
 }
+
+// buildStats identifies the binary serving the metrics: module version,
+// Go runtime, and the VCS revision stamped by `go build` when the
+// module was built inside a checkout.
+type buildStats struct {
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision"`
+	VCSModified bool   `json:"vcs_modified"`
+}
+
+// buildInfo reads the binary's embedded build metadata once; the
+// per-scrape cost is a struct copy.
+var buildInfo = sync.OnceValue(func() buildStats {
+	b := buildStats{
+		Version:     "unknown",
+		GoVersion:   runtime.Version(),
+		VCSRevision: "unknown",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			b.VCSRevision = kv.Value
+		case "vcs.modified":
+			b.VCSModified = kv.Value == "true"
+		}
+	}
+	return b
+})
 
 // endpointStats is one endpoint's JSON block.
 type endpointStats struct {
@@ -256,6 +323,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.insight.Stats()
 		im = &st
 	}
+	var lm *lifecycle.Stats
+	if s.lifecycle != nil {
+		st := s.lifecycle.Stats()
+		lm = &st
+	}
+	var sloSnap *lifecycle.SLOSnapshot
+	if s.slo != nil {
+		sloSnap = s.slo.Snapshot(time.Now().UTC())
+	}
 	eps := make(map[string]endpointStats, int(numEndpoints))
 	var errors4xx, errors5xx int64
 	for i := range s.eps {
@@ -299,9 +375,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SelectCache:       cm,
 		Tasks:             tm,
 		Insight:           im,
+		Lifecycle:         lm,
+		SLO:               sloSnap,
 		Endpoints:         eps,
 		Stages:            stages,
 		Runtime:           sampleRuntime(),
+		Build:             buildInfo(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
 	})
 }
 

@@ -37,8 +37,23 @@ const (
 	epInsightJurors
 	epInsightCalibration
 	epInsightAgreement
+	epTaskTimeline
+	epLifecycle
+	epSLO
+
+	// Ops endpoints form their own group at the end of the enum: they
+	// are instrumented like any other route, but the http_5xx SLI
+	// excludes them (a 503 from a draining /healthz is the probe doing
+	// its job, not an availability failure). epOpsFirst marks the
+	// boundary the SLI poll tests against.
+	epOpsHealthz
+	epOpsMetrics
+	epOpsMetricsProm
+	epOpsDebugTraces
 
 	numEndpoints
+
+	epOpsFirst = epOpsHealthz
 )
 
 var endpointNames = [numEndpoints]string{
@@ -46,7 +61,13 @@ var endpointNames = [numEndpoints]string{
 	"pool_list", "pool_get", "pool_put", "pool_patch", "pool_delete",
 	"task_create", "task_list", "task_get", "task_vote", "task_vote_batch",
 	"insight_jurors", "insight_calibration", "insight_agreement",
+	"task_timeline", "lifecycle", "slo",
+	"ops_healthz", "ops_metrics", "ops_metrics_prom", "ops_debug_traces",
 }
+
+// ops reports whether the endpoint belongs to the operational group
+// (health probes, scrapes, trace dumps).
+func (e endpoint) ops() bool { return e >= epOpsFirst && e < numEndpoints }
 
 func (e endpoint) String() string {
 	if int(e) < len(endpointNames) {

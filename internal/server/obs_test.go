@@ -67,7 +67,14 @@ func TestMetricsGoldenKeys(t *testing.T) {
 		"batch_votes", "shed", "errors", "errors_4xx", "errors_5xx",
 		"inflight", "max_inflight", "queued", "max_queue",
 		"engine_evaluations", "engine_cache_hits", "engine_inflight", "engine_workers",
-		"pools", "select_cache", "tasks", "insight", "endpoints", "stages", "runtime")
+		"pools", "select_cache", "tasks", "insight", "endpoints", "stages", "runtime",
+		"build", "uptime_seconds")
+
+	var build map[string]json.RawMessage
+	if err := json.Unmarshal(top["build"], &build); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys(t, build, "build", "version", "go_version", "vcs_revision", "vcs_modified")
 
 	var sc map[string]json.RawMessage
 	if err := json.Unmarshal(top["select_cache"], &sc); err != nil {
@@ -284,6 +291,8 @@ func TestPrometheusExportParses(t *testing.T) {
 		"juryd_wal_commit_queue_depth":     "gauge",
 		"juryd_goroutines":                 "gauge",
 		"juryd_heap_alloc_bytes":           "gauge",
+		"juryd_build_info":                 "gauge",
+		"juryd_uptime_seconds":             "gauge",
 	} {
 		f, ok := fams[fam]
 		if !ok {
@@ -303,6 +312,13 @@ func TestPrometheusExportParses(t *testing.T) {
 	}
 	if !sawWarm {
 		t.Error("no select_warm series in juryd_request_duration_seconds")
+	}
+	// The build-info gauge carries the binary's identity as labels with a
+	// constant value of 1 — the standard Prometheus build_info shape.
+	bis := fams["juryd_build_info"].Samples
+	if len(bis) != 1 || bis[0].Value != 1 ||
+		bis[0].Labels["version"] == "" || bis[0].Labels["go"] == "" || bis[0].Labels["revision"] == "" {
+		t.Errorf("juryd_build_info = %+v, want one sample of 1 with version/go/revision labels", bis)
 	}
 }
 

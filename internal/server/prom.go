@@ -5,9 +5,21 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"time"
 
 	"juryselect/internal/obs"
 )
+
+// timeNowUTC is the scrape-time clock for SLO evaluation.
+func timeNowUTC() time.Time { return time.Now().UTC() }
+
+// boolGauge renders a flag as a 0/1 gauge value.
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
 
 // handleMetricsProm serves GET /metrics/prometheus: the same counters
 // as /metrics in the Prometheus text exposition format (0.0.4), for
@@ -131,6 +143,66 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		p.Header("juryd_insight_brier_score", "gauge", "Brier score of predicted JER against realized error.")
 		p.Sample("juryd_insight_brier_score", "", ist.Brier)
 	}
+
+	if s.lifecycle != nil {
+		lst := s.lifecycle.Stats()
+		p.Header("juryd_lifecycle_events_total", "counter", "Task events consumed by the lifecycle engine.")
+		p.Sample("juryd_lifecycle_events_total", "", float64(lst.Events))
+		p.Header("juryd_lifecycle_tasks_total", "counter", "Tasks observed by the lifecycle engine, by outcome.")
+		p.Sample("juryd_lifecycle_tasks_total", `outcome="decided"`, float64(lst.TasksDecided))
+		p.Sample("juryd_lifecycle_tasks_total", `outcome="expired"`, float64(lst.TasksExpired))
+		p.Header("juryd_lifecycle_replacements_total", "counter", "Replacement invites observed after task creation.")
+		p.Sample("juryd_lifecycle_replacements_total", "", float64(lst.Replacements))
+		p.Header("juryd_lifecycle_timelines_retained", "gauge", "Task timelines resident in the engine.")
+		p.Sample("juryd_lifecycle_timelines_retained", "", float64(lst.TimelinesRetained))
+		p.Header("juryd_lifecycle_timelines_evicted_total", "counter", "Closed timelines evicted at the retention cap.")
+		p.Sample("juryd_lifecycle_timelines_evicted_total", "", float64(lst.TimelinesEvicted))
+	}
+
+	if s.slo != nil {
+		// Evaluate once and fan the statuses into the families: burn-rate
+		// gauges per window, 0/1 alert gauges, and trip counters. Every
+		// value is finite by construction (burn is 0 on an empty window),
+		// which the exposition parser requires.
+		statuses := s.slo.Evaluate(timeNowUTC())
+		p.Header("juryd_slo_events_total", "counter", "SLI events by objective and classification.")
+		for _, st := range statuses {
+			p.Sample("juryd_slo_events_total", `objective="`+st.Name+`",class="good"`, float64(st.Good))
+			p.Sample("juryd_slo_events_total", `objective="`+st.Name+`",class="bad"`, float64(st.Bad))
+		}
+		p.Header("juryd_slo_target", "gauge", "Objective target (good fraction).")
+		for _, st := range statuses {
+			p.Sample("juryd_slo_target", `objective="`+st.Name+`"`, st.Target)
+		}
+		p.Header("juryd_slo_burn_rate", "gauge", "Error-budget burn rate by objective and alerting window.")
+		for _, st := range statuses {
+			p.Sample("juryd_slo_burn_rate", `objective="`+st.Name+`",window="fast_short"`, st.BurnFastShort)
+			p.Sample("juryd_slo_burn_rate", `objective="`+st.Name+`",window="fast_long"`, st.BurnFastLong)
+			p.Sample("juryd_slo_burn_rate", `objective="`+st.Name+`",window="slow_short"`, st.BurnSlowShort)
+			p.Sample("juryd_slo_burn_rate", `objective="`+st.Name+`",window="slow_long"`, st.BurnSlowLong)
+		}
+		p.Header("juryd_slo_budget_remaining", "gauge", "Unspent error budget over the slow-long window.")
+		for _, st := range statuses {
+			p.Sample("juryd_slo_budget_remaining", `objective="`+st.Name+`"`, st.BudgetRemaining)
+		}
+		p.Header("juryd_slo_alert", "gauge", "Burn-rate alert state (1 = firing).")
+		for _, st := range statuses {
+			p.Sample("juryd_slo_alert", `objective="`+st.Name+`",severity="fast"`, boolGauge(st.FastAlert))
+			p.Sample("juryd_slo_alert", `objective="`+st.Name+`",severity="slow"`, boolGauge(st.SlowAlert))
+		}
+		p.Header("juryd_slo_alert_trips_total", "counter", "Burn-rate alert activations since start.")
+		for _, st := range statuses {
+			p.Sample("juryd_slo_alert_trips_total", `objective="`+st.Name+`",severity="fast"`, float64(st.FastTrips))
+			p.Sample("juryd_slo_alert_trips_total", `objective="`+st.Name+`",severity="slow"`, float64(st.SlowTrips))
+		}
+	}
+
+	bi := buildInfo()
+	p.Header("juryd_build_info", "gauge", "Build metadata of the running binary; value is always 1.")
+	p.Sample("juryd_build_info",
+		`version="`+bi.Version+`",go="`+bi.GoVersion+`",revision="`+bi.VCSRevision+`"`, 1)
+	p.Header("juryd_uptime_seconds", "gauge", "Seconds since this server was constructed.")
+	p.Sample("juryd_uptime_seconds", "", time.Since(s.start).Seconds())
 
 	p.Header("juryd_traces_total", "counter", "Request traces captured into the debug ring.")
 	p.Sample("juryd_traces_total", "", float64(s.ring.Total()))

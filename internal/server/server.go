@@ -16,6 +16,7 @@ import (
 	"juryselect/internal/core"
 	"juryselect/internal/dataio"
 	"juryselect/internal/insight"
+	"juryselect/internal/lifecycle"
 	"juryselect/internal/obs"
 	"juryselect/internal/pbdist"
 	"juryselect/internal/tasks"
@@ -57,6 +58,20 @@ type Config struct {
 	// replay and the live tail both feed it; when set, the /v1/insight
 	// endpoints are served and /metrics gains an insight block.
 	Insight *insight.Engine
+	// Lifecycle is the task-timeline reconstructor. Attach it to the task
+	// store (tasks.Config.Events, alongside Insight via tasks.Sinks)
+	// before Open, so WAL replay rebuilds every timeline on boot; when
+	// set, GET /v1/tasks/{id}/timeline and GET /v1/lifecycle are served
+	// and /metrics gains a lifecycle block.
+	Lifecycle *lifecycle.Engine
+	// SLO is the error-budget tracker. When set, GET /v1/slo is served,
+	// /metrics gains an slo block, and /metrics/prometheus exports
+	// juryd_slo_* series. Feed it via Lifecycle (AttachSLO), the task
+	// store's FsyncObserver, and PollSLO on the evaluation ticker.
+	SLO *lifecycle.SLO
+	// Watchdog flags tasks stuck past their juror timeout with no sweeper
+	// progress; when set, /healthz gains a stall block.
+	Watchdog *lifecycle.Watchdog
 	// MaxInflight bounds concurrently executing evaluation requests
 	// (/v1/jer and /v1/select). Zero selects runtime.GOMAXPROCS(0):
 	// selection saturates a core, so admitting more in parallel only
@@ -103,10 +118,14 @@ type Config struct {
 // Handler on an http.Server, and share one Server across all connections;
 // all methods are safe for concurrent use.
 type Server struct {
-	eng     *jury.Engine
-	store   *Store
-	tasks   *tasks.Store
-	insight *insight.Engine
+	eng       *jury.Engine
+	store     *Store
+	tasks     *tasks.Store
+	insight   *insight.Engine
+	lifecycle *lifecycle.Engine
+	slo       *lifecycle.SLO
+	watchdog  *lifecycle.Watchdog
+	start     time.Time // process-local construction instant; uptime origin
 
 	maxInflight int
 	maxQueue    int
@@ -130,6 +149,13 @@ type Server struct {
 	traceEvery int
 	slowNS     int64
 	logger     *slog.Logger
+
+	// sloPoll holds the cumulative totals the last http_5xx SLI poll ran
+	// against, so PollSLO feeds only the delta since the previous call.
+	sloPoll struct {
+		mu        sync.Mutex
+		good, bad int64
+	}
 }
 
 // New returns a Server with the given configuration.
@@ -139,6 +165,10 @@ func New(cfg Config) *Server {
 		store:       cfg.Store,
 		tasks:       cfg.Tasks,
 		insight:     cfg.Insight,
+		lifecycle:   cfg.Lifecycle,
+		slo:         cfg.SLO,
+		watchdog:    cfg.Watchdog,
+		start:       time.Now(),
 		maxInflight: cfg.MaxInflight,
 		maxQueue:    cfg.MaxQueue,
 		defTimeout:  cfg.DefaultTimeout,
@@ -209,10 +239,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/insight/jurors", s.instrument(epInsightJurors, s.requireInsight(s.handleInsightJurors)))
 	s.mux.HandleFunc("GET /v1/insight/calibration", s.instrument(epInsightCalibration, s.requireInsight(s.handleInsightCalibration)))
 	s.mux.HandleFunc("GET /v1/insight/agreement", s.instrument(epInsightAgreement, s.requireInsight(s.handleInsightAgreement)))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /metrics/prometheus", s.handleMetricsProm)
-	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("GET /v1/tasks/{id}/timeline", s.instrument(epTaskTimeline, s.requireLifecycle(s.handleTaskTimeline)))
+	s.mux.HandleFunc("GET /v1/lifecycle", s.instrument(epLifecycle, s.requireLifecycle(s.handleLifecycle)))
+	s.mux.HandleFunc("GET /v1/slo", s.instrument(epSLO, s.requireSLO(s.handleSLO)))
+	// Ops routes ride the same instrumentation as the /v1 families (PR
+	// 10): scrapes and probes get latency histograms and trace sampling
+	// for free, and the pooled reqWriter keeps the added alloc count at
+	// zero.
+	s.mux.HandleFunc("GET /healthz", s.instrument(epOpsHealthz, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument(epOpsMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /metrics/prometheus", s.instrument(epOpsMetricsProm, s.handleMetricsProm))
+	s.mux.HandleFunc("GET /debug/traces", s.instrument(epOpsDebugTraces, s.handleDebugTraces))
 	return s
 }
 

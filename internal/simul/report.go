@@ -2,6 +2,8 @@ package simul
 
 import (
 	"encoding/json"
+	"math"
+	"sort"
 
 	"juryselect/internal/insight"
 	"juryselect/internal/obs"
@@ -92,6 +94,45 @@ func summarizeHist(h *obs.Histogram) *LatencySummary {
 	}
 }
 
+// CountSummary summarises a small integer distribution exactly: sorted
+// nearest-rank quantiles over the full sample, so the report stays
+// bit-identical across runs and worker counts (unlike the power-of-2
+// histogram buckets, which would quantize a jury-sized count space).
+type CountSummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int     `json:"p50"`
+	P90   int     `json:"p90"`
+	Max   int     `json:"max"`
+}
+
+// summarizeCounts builds a CountSummary, or nil for an empty sample.
+func summarizeCounts(xs []int) *CountSummary {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, x := range sorted {
+		sum += x
+	}
+	rank := func(q float64) int {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return &CountSummary{
+		Count: len(sorted),
+		Mean:  float64(sum) / float64(len(sorted)),
+		P50:   rank(0.50),
+		P90:   rank(0.90),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
 // RepResult is one replication's outcome.
 type RepResult struct {
 	Replication int `json:"replication"`
@@ -121,6 +162,14 @@ type RepResult struct {
 	Replacements   int     `json:"replacements,omitempty"`
 	EarlyStopped   int     `json:"early_stopped,omitempty"`
 	MeanVotesSpent float64 `json:"mean_votes_spent,omitempty"`
+	// VerdictVotes totals the votes spent on steps that reached a
+	// verdict, and VotesToVerdict is their exact distribution — the
+	// simulation's time-to-verdict, measured in the protocol's own clock
+	// (sequential responses collected), since the simulator has no wall
+	// time. Compare against MeanJurySize: a fixed jury pays every seat,
+	// sequential early stop closes as soon as confidence is reached.
+	VerdictVotes   int           `json:"verdict_votes,omitempty"`
+	VotesToVerdict *CountSummary `json:"votes_to_verdict,omitempty"`
 	// FinalPoolVersion is the backend pool version after the last step —
 	// the number of published pool snapshots the run produced.
 	FinalPoolVersion uint64 `json:"final_pool_version,omitempty"`
@@ -190,6 +239,14 @@ type Summary struct {
 	// exhausting their jury.
 	MeanVotesSpent float64 `json:"mean_votes_spent,omitempty"`
 	EarlyStopRate  float64 `json:"early_stop_rate,omitempty"`
+	// MeanVotesToVerdict is votes spent per verdict pooled across
+	// replications — the time-to-verdict headline in the simulation's
+	// response clock. MeanJurySize is the selected jury size (what a
+	// fixed jury would pay); MeanVotesSaved is their gap, the sequential
+	// early-stop saving per verdict.
+	MeanVotesToVerdict float64 `json:"mean_votes_to_verdict,omitempty"`
+	MeanJurySize       float64 `json:"mean_jury_size,omitempty"`
+	MeanVotesSaved     float64 `json:"mean_votes_saved,omitempty"`
 	// OracleCalibration merges every replication's reliability bins. The
 	// merge is commutative integer arithmetic, so the report is identical
 	// at any worker count.
@@ -226,7 +283,8 @@ func summarize(sc Scenario, reps []RepResult) Summary {
 		return s
 	}
 	var windows int
-	var totalVotes, earlyStopped, decidedTasks, attempted int
+	var totalVotes, earlyStopped, decidedTasks, attempted, verdictVotes int
+	var jurySized int
 	for _, r := range reps {
 		s.Accuracy += r.Accuracy
 		s.MeanRegret += r.MeanRegret
@@ -237,6 +295,11 @@ func summarize(sc Scenario, reps []RepResult) Summary {
 		earlyStopped += r.EarlyStopped
 		decidedTasks += r.Decided
 		attempted += r.Steps - r.Shed
+		verdictVotes += r.VerdictVotes
+		if r.MeanJurySize > 0 {
+			s.MeanJurySize += r.MeanJurySize
+			jurySized++
+		}
 		if len(r.Windows) > windows {
 			windows = len(r.Windows)
 		}
@@ -251,6 +314,15 @@ func summarize(sc Scenario, reps []RepResult) Summary {
 	}
 	if earlyStopped > 0 && decidedTasks > 0 {
 		s.EarlyStopRate = float64(earlyStopped) / float64(decidedTasks)
+	}
+	if jurySized > 0 {
+		s.MeanJurySize /= float64(jurySized)
+	}
+	if verdictVotes > 0 && decidedTasks > 0 {
+		s.MeanVotesToVerdict = float64(verdictVotes) / float64(decidedTasks)
+		if s.MeanJurySize > s.MeanVotesToVerdict {
+			s.MeanVotesSaved = s.MeanJurySize - s.MeanVotesToVerdict
+		}
 	}
 	var calib insight.Reliability
 	for i := range reps {

@@ -3,6 +3,7 @@ package simul
 import (
 	"bytes"
 	"context"
+	"math"
 	"testing"
 )
 
@@ -146,6 +147,55 @@ func TestTaskEarlyStopSpendsFewerVotes(t *testing.T) {
 	t.Logf("votes/task: early-stop %.2f vs fixed %.2f (accuracy %.3f vs %.3f, early-stop rate %.2f)",
 		early.Summary.MeanVotesSpent, fixed.Summary.MeanVotesSpent,
 		early.Summary.Accuracy, fixed.Summary.Accuracy, early.Summary.EarlyStopRate)
+}
+
+// TestTimeToVerdictReporting checks the PR 10 report block: the exact
+// votes-to-verdict distribution per replication (the simulation's
+// time-to-verdict, counted in sequential responses), and the pooled
+// summary that EXPERIMENTS compares against the fixed-jury cost.
+func TestTimeToVerdictReporting(t *testing.T) {
+	base := Scenario{Name: "ttv", Seed: 11, Steps: 120, Population: 30,
+		RateMean: 0.4, RateStddev: 0.1, Availability: 0.8,
+		Lifecycle: LifecycleTask, Replications: 2}
+	run := func(target float64) *Report {
+		sc := base
+		sc.TargetConfidence = target
+		rep, err := Run(context.Background(), sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	early, fixed := run(0.9), run(1)
+
+	for _, r := range early.Replications {
+		tv := r.VotesToVerdict
+		if tv == nil || tv.Count != r.Decided {
+			t.Fatalf("rep %d: votes_to_verdict %+v, want one sample per decided task (%d)",
+				r.Replication, tv, r.Decided)
+		}
+		if got := tv.Mean * float64(tv.Count); math.Abs(got-float64(r.VerdictVotes)) > 1e-9 {
+			t.Fatalf("rep %d: mean %.4f × count %d != verdict votes %d",
+				r.Replication, tv.Mean, tv.Count, r.VerdictVotes)
+		}
+		if tv.P50 > tv.P90 || tv.P90 > tv.Max {
+			t.Fatalf("rep %d: quantiles out of order: %+v", r.Replication, tv)
+		}
+	}
+	es, fs := early.Summary, fixed.Summary
+	if es.MeanVotesToVerdict <= 0 || es.MeanJurySize <= 0 {
+		t.Fatalf("summary missing time-to-verdict: %+v", es)
+	}
+	if es.MeanVotesToVerdict >= fs.MeanVotesToVerdict {
+		t.Fatalf("early stop took %.2f votes/verdict, fixed jury %.2f — no speedup",
+			es.MeanVotesToVerdict, fs.MeanVotesToVerdict)
+	}
+	if es.MeanVotesSaved <= 0 {
+		t.Fatalf("early stop saved %.2f votes/verdict vs its %0.2f-seat jury, want > 0",
+			es.MeanVotesSaved, es.MeanJurySize)
+	}
+	t.Logf("time-to-verdict: early-stop %.2f vs fixed %.2f votes (jury %.2f, saved %.2f)",
+		es.MeanVotesToVerdict, fs.MeanVotesToVerdict, es.MeanJurySize, es.MeanVotesSaved)
 }
 
 // TestTaskStepAccounting: the task lifecycle preserves the partition

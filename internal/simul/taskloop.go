@@ -45,6 +45,7 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 		sumCalibration float64
 		sumJurySize    int
 		scored         int
+		verdictVotes   []int
 	)
 	for step := 0; step < sc.Steps; step++ {
 		if err := ctx.Err(); err != nil {
@@ -158,6 +159,12 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 		default:
 			res.Undecided++
 		}
+		if decided {
+			// Time-to-verdict in the simulation's clock: sequential
+			// responses collected before the task closed.
+			res.VerdictVotes += final.VotesSpent
+			verdictVotes = append(verdictVotes, final.VotesSpent)
+		}
 
 		rec.JurySize = len(out.Invited)
 		rec.Responders = len(responders)
@@ -202,6 +209,7 @@ func runTaskReplication(ctx context.Context, sc Scenario, rep int, be backend, e
 	}
 	res.Windows = windowize(sc, records)
 	res.attachOracleCalibration(records)
+	res.VotesToVerdict = summarizeCounts(verdictVotes)
 	res.Latency = summarizeHist(&latHist)
 	if trace {
 		res.Trace = records

@@ -65,7 +65,11 @@ type Event struct {
 	Strategy         string
 	PredictedJER     float64
 	TargetConfidence float64
-	Jury             []EventJuror
+	// PoolVersion is the pool version selection ran against, pinned in
+	// the create record — a timeline names the exact pool state that
+	// chose its jury without a lookup racing subsequent patches.
+	PoolVersion uint64
+	Jury        []EventJuror
 
 	// JurorInvited, VoteRecorded, JurorReleased.
 	Juror     string
@@ -92,6 +96,37 @@ type EventSink interface {
 	TaskEvent(ev Event)
 }
 
+// multiSink fans one event stream out to several sinks, in order.
+type multiSink []EventSink
+
+func (m multiSink) TaskEvent(ev Event) {
+	for _, s := range m {
+		s.TaskEvent(ev)
+	}
+}
+
+// Sinks combines several event sinks into one, delivering every event
+// to each non-nil sink in argument order. It lets cmd/juryd attach the
+// insight and lifecycle engines to the same store without either
+// knowing about the other; nil arguments are skipped, and a result
+// covering zero sinks is nil (emission disabled entirely).
+func Sinks(sinks ...EventSink) EventSink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
 // emitCreated publishes a TaskCreated event for an applied create record.
 func (s *Store) emitCreated(t *task, rec *record) {
 	if s.events == nil {
@@ -109,6 +144,7 @@ func (s *Store) emitCreated(t *task, rec *record) {
 		Strategy:         rec.Spec.Strategy,
 		PredictedJER:     rec.PredictedJER,
 		TargetConfidence: rec.Spec.TargetConfidence,
+		PoolVersion:      rec.PoolVersion,
 		Jury:             jury,
 	})
 }

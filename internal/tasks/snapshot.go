@@ -194,6 +194,7 @@ func (s *Store) compactLocked() error {
 		Sync:          wal.mode,
 		BatchInterval: wal.interval,
 		TimerCommit:   wal.timerOnly,
+		FsyncObserver: wal.fsyncObs,
 	})
 	if err != nil {
 		return fmt.Errorf("tasks: opening wal epoch %d: %w", snap.Epoch, err)

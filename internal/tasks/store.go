@@ -75,6 +75,12 @@ type Config struct {
 	// WAL replay during Open. Attach before Open so recovery feeds the
 	// sink the journaled history. nil disables emission entirely.
 	Events EventSink
+	// FsyncObserver, when set, receives every WAL fsync latency in
+	// nanoseconds (the wal_fsync SLI feed). Called from the committer
+	// goroutine outside the WAL lock; it must be cheap and must not call
+	// back into the store. Live-only by nature — fsyncs are a property of
+	// this process, not of the journaled history.
+	FsyncObserver func(latencyNS int64)
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -264,6 +270,13 @@ type Store struct {
 
 	nTasks, nOpen, nAwaiting, nDecided, nExpired atomic.Int64
 
+	// Sweeper liveness: the stall watchdog reads these to tell "nothing
+	// is overdue" apart from "the sweeper stopped running".
+	sweeps        atomic.Int64
+	lastSweepNano atomic.Int64 // unix nanos of the last completed Sweep; 0 = never
+	sweepReleased atomic.Int64
+	sweepExpired  atomic.Int64
+
 	recovery RecoveryStats
 }
 
@@ -342,6 +355,7 @@ func Open(cfg Config) (*Store, error) {
 		Sync:          cfg.Sync,
 		BatchInterval: cfg.BatchInterval,
 		TimerCommit:   cfg.TimerCommit,
+		FsyncObserver: cfg.FsyncObserver,
 	})
 	if err != nil {
 		return nil, err
@@ -1044,7 +1058,76 @@ func (s *Store) Sweep(now time.Time) (released, expired int, err error) {
 		sh.mu.Unlock()
 	}
 	s.maybeCompact()
+	s.sweepReleased.Add(int64(released))
+	s.sweepExpired.Add(int64(expired))
+	s.sweeps.Add(1)
+	s.lastSweepNano.Store(now.UnixNano())
 	return released, expired, s.waitDurable(context.Background(), lastCommit)
+}
+
+// SweepProgress is the sweeper's liveness record: how often it has run
+// and what it has done. The stall watchdog reads it to distinguish
+// "nothing was overdue" from "the sweeper stopped running".
+type SweepProgress struct {
+	// Sweeps counts completed Sweep calls since open.
+	Sweeps int64
+	// LastSweepAt is the `now` passed to the most recent completed Sweep
+	// (zero before the first).
+	LastSweepAt time.Time
+	// Released and Expired total the sweeper's actions since open.
+	Released int64
+	Expired  int64
+}
+
+// SweepProgress returns the sweeper's liveness counters.
+func (s *Store) SweepProgress() SweepProgress {
+	p := SweepProgress{
+		Sweeps:   s.sweeps.Load(),
+		Released: s.sweepReleased.Load(),
+		Expired:  s.sweepExpired.Load(),
+	}
+	if ns := s.lastSweepNano.Load(); ns != 0 {
+		p.LastSweepAt = time.Unix(0, ns).UTC()
+	}
+	return p
+}
+
+// StalledInvites scans for invited jurors whose juror timeout elapsed
+// at least grace ago without the sweeper releasing them — the signal
+// that sweeping has stalled (a healthy sweeper releases overdue jurors
+// within one interval). It returns the number of open tasks carrying at
+// least one such juror and the largest overdue amount (time past
+// timeout+grace). The scan is lock-free: published view snapshots plus
+// the immutable spec.
+func (s *Store) StalledInvites(now time.Time, grace time.Duration) (tasks int, oldest time.Duration) {
+	if grace < 0 {
+		grace = 0
+	}
+	for i := range s.shards {
+		s.shards[i].forEach(func(t *task) {
+			v := t.snap.Load()
+			if v == nil || v.Status.closed() {
+				return
+			}
+			stalled := false
+			for _, j := range v.Jurors {
+				if j.State != JurorInvited {
+					continue
+				}
+				overdue := now.Sub(j.InvitedAt.Add(t.spec.JurorTimeout + grace))
+				if overdue >= 0 {
+					stalled = true
+					if overdue > oldest {
+						oldest = overdue
+					}
+				}
+			}
+			if stalled {
+				tasks++
+			}
+		})
+	}
+	return tasks, oldest
 }
 
 // applyExpire closes the task without a verdict. Callers hold the shard

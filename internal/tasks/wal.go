@@ -99,6 +99,11 @@ type WALOptions struct {
 	// records are pending — batch N+1 accumulates while batch N syncs —
 	// bounding the wait by one fsync instead of the timer.
 	TimerCommit bool
+	// FsyncObserver, when set, is called with every fsync's latency in
+	// nanoseconds, from the committer goroutine outside the WAL lock. It
+	// feeds the SLO engine's wal_fsync objective; implementations must be
+	// cheap and must not call back into the WAL.
+	FsyncObserver func(latencyNS int64)
 }
 
 // walBatchBuckets is the fsync batch-size histogram shape: bucket i
@@ -170,6 +175,7 @@ type WAL struct {
 
 	fsyncLat obs.Histogram // fsync call latency
 	waitLat  obs.Histogram // append→durable wait as seen by writers
+	fsyncObs func(latencyNS int64)
 }
 
 // walRecord is one intact record yielded by readWAL.
@@ -248,6 +254,7 @@ func OpenWAL(path string, opts WALOptions) (*WAL, []walRecord, error) {
 		loopDone:  make(chan struct{}),
 		replayed:  int64(len(records)),
 		torn:      torn,
+		fsyncObs:  opts.FsyncObserver,
 	}
 	if w.mode == "" {
 		w.mode = SyncBatch
@@ -429,6 +436,9 @@ func (w *WAL) syncOnce() {
 	elapsed := time.Since(start).Nanoseconds()
 	w.fsyncs.Add(1)
 	w.fsyncLat.Observe(elapsed)
+	if w.fsyncObs != nil {
+		w.fsyncObs(elapsed)
+	}
 
 	w.mu.Lock()
 	if err != nil && w.err == nil {
